@@ -1,0 +1,85 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace partminer {
+namespace bench {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "1";
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+double Flags::GetDouble(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::atof(it->second.c_str());
+}
+
+int Flags::GetInt(const std::string& key, int fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+WorkloadSpec WorkloadSpec::FromFlags(const Flags& flags) {
+  WorkloadSpec spec;
+  const double scale = flags.GetDouble("scale", 1.0);
+  spec.d = flags.GetInt("d", static_cast<int>(spec.d * scale));
+  spec.t = flags.GetInt("t", spec.t);
+  spec.n = flags.GetInt("n", spec.n);
+  spec.l = flags.GetInt("l", std::max(3, static_cast<int>(spec.l * scale)));
+  spec.i = flags.GetInt("i", spec.i);
+  spec.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  return spec;
+}
+
+GeneratorParams WorkloadSpec::ToParams() const {
+  GeneratorParams params;
+  params.num_graphs = d;
+  params.avg_edges = t;
+  params.num_labels = n;
+  params.num_kernels = l;
+  params.avg_kernel_edges = i;
+  params.seed = seed;
+  return params;
+}
+
+GraphDatabase MakeWorkload(const WorkloadSpec& spec) {
+  GraphDatabase db = GenerateDatabase(spec.ToParams());
+  AssignUpdateHotspots(&db, spec.hotspot_fraction, spec.seed + 1000);
+  return db;
+}
+
+void PrintRow(const std::string& figure, const std::string& series, double x,
+              double y) {
+  std::printf("%s,%s,%g,%.4f\n", figure.c_str(), series.c_str(), x, y);
+  std::fflush(stdout);
+}
+
+void PrintHeader(const std::string& figure, const std::string& description,
+                 const std::string& workload_tag) {
+  std::printf("# %s: %s\n", figure.c_str(), description.c_str());
+  std::printf("# workload: %s (scaled from the paper's setup; see "
+              "EXPERIMENTS.md)\n",
+              workload_tag.c_str());
+  std::printf("figure,series,x,y\n");
+  std::fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace partminer

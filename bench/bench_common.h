@@ -1,0 +1,65 @@
+#ifndef PARTMINER_BENCH_BENCH_COMMON_H_
+#define PARTMINER_BENCH_BENCH_COMMON_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "graph/graph.h"
+
+namespace partminer {
+namespace bench {
+
+/// Tiny --key=value flag parser shared by the per-figure harnesses.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  double GetDouble(const std::string& key, double fallback) const;
+  int GetInt(const std::string& key, int fallback) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Workload scaled down from the paper's dataset tags (see EXPERIMENTS.md).
+/// The paper's D50kT20N20L200I5 becomes D(500*scale)T20N20L(50*scale)I5 by
+/// default: the kernel count L shrinks with D so that planted kernels remain
+/// frequent at the same relative supports the paper sweeps.
+struct WorkloadSpec {
+  int d = 500;
+  int t = 20;
+  int n = 20;
+  int l = 50;
+  int i = 5;
+  uint64_t seed = 1;
+  double hotspot_fraction = 0.15;
+
+  /// Applies --d/--t/--n/--l/--i/--seed/--scale overrides.
+  static WorkloadSpec FromFlags(const Flags& flags);
+
+  GeneratorParams ToParams() const;
+  std::string Tag() const { return ToParams().Tag(); }
+};
+
+/// Generates the database and assigns update hotspots.
+GraphDatabase MakeWorkload(const WorkloadSpec& spec);
+
+/// Emits one CSV data point: `figure,series,x,y` on stdout, plus a
+/// flush so piping into tee behaves.
+void PrintRow(const std::string& figure, const std::string& series,
+              double x, double y);
+
+/// Header printed once per harness: figure id, workload tag, paper
+/// reference line.
+void PrintHeader(const std::string& figure, const std::string& description,
+                 const std::string& workload_tag);
+
+}  // namespace bench
+}  // namespace partminer
+
+#endif  // PARTMINER_BENCH_BENCH_COMMON_H_

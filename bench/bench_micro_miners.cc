@@ -1,0 +1,172 @@
+// Ablation benchmarks over the mining stack: gSpan vs Gaston as unit
+// miners, the unit-support factor (DESIGN.md ablation #1: ceil(sup/2^depth)
+// vs mining units at the full support loses patterns), and the incremental
+// delta sweep vs a full re-sweep at varying update fractions.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/inc_part_miner.h"
+#include "core/merge_join.h"
+#include "core/part_miner.h"
+#include "datagen/generator.h"
+#include "datagen/update_generator.h"
+#include "miner/apriori.h"
+#include "miner/gaston.h"
+#include "miner/gspan.h"
+
+namespace partminer {
+namespace {
+
+GraphDatabase Workload(int d) {
+  GeneratorParams params;
+  params.num_graphs = d;
+  params.avg_edges = 20;
+  params.num_labels = 20;
+  params.num_kernels = std::max(5, d / 10);
+  params.seed = 2;
+  GraphDatabase db = GenerateDatabase(params);
+  AssignUpdateHotspots(&db, 0.15, 3);
+  return db;
+}
+
+void BM_GSpanFull(benchmark::State& state) {
+  const GraphDatabase db = Workload(static_cast<int>(state.range(0)));
+  MinerOptions options;
+  options.min_support = std::max(1, static_cast<int>(0.04 * db.size()));
+  GSpanMiner miner;
+  int patterns = 0;
+  for (auto _ : state) {
+    patterns = miner.Mine(db, options).size();
+  }
+  state.counters["patterns"] = patterns;
+}
+BENCHMARK(BM_GSpanFull)->Arg(250)->Arg(500);
+
+void BM_GastonFull(benchmark::State& state) {
+  const GraphDatabase db = Workload(static_cast<int>(state.range(0)));
+  MinerOptions options;
+  options.min_support = std::max(1, static_cast<int>(0.04 * db.size()));
+  GastonMiner miner;
+  int patterns = 0;
+  for (auto _ : state) {
+    patterns = miner.Mine(db, options).size();
+  }
+  state.counters["patterns"] = patterns;
+}
+BENCHMARK(BM_GastonFull)->Arg(250)->Arg(500);
+
+// The classic pattern-growth vs Apriori comparison (the reason gSpan/Gaston
+// superseded AGM/FSG, Section 2 of the paper): same outputs, very different
+// candidate economics.
+void BM_AprioriFull(benchmark::State& state) {
+  const GraphDatabase db = Workload(static_cast<int>(state.range(0)));
+  MinerOptions options;
+  options.min_support = std::max(1, static_cast<int>(0.04 * db.size()));
+  AprioriMiner miner;
+  int patterns = 0;
+  for (auto _ : state) {
+    patterns = miner.Mine(db, options).size();
+  }
+  state.counters["patterns"] = patterns;
+  state.counters["cand_counted"] =
+      static_cast<double>(miner.stats().candidates_counted);
+}
+BENCHMARK(BM_AprioriFull)->Arg(250)->Arg(500);
+
+// Ablation: what the reduced unit support buys. Mining the two units of a
+// bisected database at the *root* support and unioning loses the patterns
+// whose occurrences split across units; the reduced support (Theorem 3)
+// recovers them. Reported as counters on a single workload.
+void BM_UnitSupportAblation(benchmark::State& state) {
+  const GraphDatabase db = Workload(300);
+  const int sup = std::max(1, static_cast<int>(0.04 * db.size()));
+  PartitionOptions popt;
+  popt.k = 2;
+  const PartitionedDatabase part = PartitionedDatabase::Create(db, popt);
+  const GraphDatabase left = part.MaterializeUnit(db, 0);
+  const GraphDatabase right = part.MaterializeUnit(db, 1);
+  GSpanMiner miner;
+  MinerOptions full;
+  full.min_support = sup;
+  const PatternSet expected = miner.Mine(db, full);
+
+  int reduced_union = 0, naive_union = 0;
+  for (auto _ : state) {
+    MinerOptions reduced;
+    reduced.min_support = (sup + 1) / 2;
+    PatternSet u = miner.Mine(left, reduced);
+    u.MergeFrom(miner.Mine(right, reduced));
+    int covered = 0;
+    for (const PatternInfo& p : expected.patterns()) {
+      if (u.Contains(p.code)) ++covered;
+    }
+    reduced_union = covered;
+
+    MinerOptions naive;
+    naive.min_support = sup;
+    PatternSet n = miner.Mine(left, naive);
+    n.MergeFrom(miner.Mine(right, naive));
+    covered = 0;
+    for (const PatternInfo& p : expected.patterns()) {
+      if (n.Contains(p.code)) ++covered;
+    }
+    naive_union = covered;
+  }
+  state.counters["frequent_total"] = expected.size();
+  state.counters["covered_reduced_sup"] = reduced_union;
+  state.counters["covered_full_sup"] = naive_union;
+}
+BENCHMARK(BM_UnitSupportAblation)->Iterations(1);
+
+void BM_IncMergeJoinDelta(benchmark::State& state) {
+  GraphDatabase db = Workload(400);
+  const int sup = std::max(1, static_cast<int>(0.04 * db.size()));
+  GSpanMiner miner;
+  MinerOptions options;
+  options.min_support = sup;
+  const PatternSet cached = miner.Mine(db, options);
+
+  UpdateOptions upd;
+  upd.fraction_graphs = state.range(0) / 100.0;
+  upd.seed = 9;
+  const UpdateLog log = ApplyUpdates(&db, 20, upd);
+
+  MergeJoinOptions mj;
+  mj.min_support = sup;
+  mj.delta_sweep_max_fraction = 1.0;  // Force the delta path.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        IncMergeJoin(db, cached, log.updated_graphs, mj, nullptr, nullptr));
+  }
+}
+BENCHMARK(BM_IncMergeJoinDelta)->Arg(2)->Arg(10)->Arg(40);
+
+void BM_IncMergeJoinResweep(benchmark::State& state) {
+  GraphDatabase db = Workload(400);
+  const int sup = std::max(1, static_cast<int>(0.04 * db.size()));
+  GSpanMiner miner;
+  MinerOptions options;
+  options.min_support = sup;
+  const PatternSet cached = miner.Mine(db, options);
+
+  UpdateOptions upd;
+  upd.fraction_graphs = state.range(0) / 100.0;
+  upd.seed = 9;
+  const UpdateLog log = ApplyUpdates(&db, 20, upd);
+
+  MergeJoinOptions mj;
+  mj.min_support = sup;
+  mj.delta_sweep_max_fraction = 0.0;  // Force the full re-sweep.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        IncMergeJoin(db, cached, log.updated_graphs, mj, nullptr, nullptr));
+  }
+}
+BENCHMARK(BM_IncMergeJoinResweep)->Arg(2)->Arg(10)->Arg(40);
+
+}  // namespace
+}  // namespace partminer
+
+BENCHMARK_MAIN();

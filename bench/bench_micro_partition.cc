@@ -1,0 +1,110 @@
+// Micro benchmarks for the partitioning substrate: GraphPart under the
+// three criteria vs the METIS-style multilevel bisector — both cost and cut
+// quality — plus DBPartition end-to-end and the buffer pool.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "datagen/generator.h"
+#include "partition/db_partition.h"
+#include "partition/graph_part.h"
+#include "partition/multilevel.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace partminer {
+namespace {
+
+Graph WorkloadGraph(int vertices) {
+  GeneratorParams params;
+  params.num_graphs = 1;
+  params.avg_edges = vertices * 2;
+  params.num_labels = 10;
+  params.num_kernels = 5;
+  params.seed = 3;
+  GraphDatabase db = GenerateDatabase(params);
+  Graph g = db.graph(0);
+  Rng rng(5);
+  for (VertexId v = 0; v < g.VertexCount(); ++v) {
+    if (rng.Bernoulli(0.2)) g.set_update_freq(v, 1 + rng.Uniform(4));
+  }
+  return g;
+}
+
+void BM_GraphPartCombined(benchmark::State& state) {
+  const Graph g = WorkloadGraph(static_cast<int>(state.range(0)));
+  int cut = 0;
+  for (auto _ : state) {
+    const Bisection b = GraphPart(g, GraphPartOptions{1.0, 1.0});
+    cut = b.cut_edges;
+    benchmark::DoNotOptimize(b);
+  }
+  state.counters["cut_edges"] = cut;
+}
+BENCHMARK(BM_GraphPartCombined)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_GraphPartMinCut(benchmark::State& state) {
+  const Graph g = WorkloadGraph(static_cast<int>(state.range(0)));
+  int cut = 0;
+  for (auto _ : state) {
+    const Bisection b = GraphPart(g, GraphPartOptions{0.0, 1.0});
+    cut = b.cut_edges;
+    benchmark::DoNotOptimize(b);
+  }
+  state.counters["cut_edges"] = cut;
+}
+BENCHMARK(BM_GraphPartMinCut)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_MultilevelBisect(benchmark::State& state) {
+  const Graph g = WorkloadGraph(static_cast<int>(state.range(0)));
+  int cut = 0;
+  for (auto _ : state) {
+    const std::vector<int> side = MultilevelBisect(g, MultilevelOptions{});
+    cut = CountCutEdges(g, side);
+    benchmark::DoNotOptimize(side);
+  }
+  state.counters["cut_edges"] = cut;
+}
+BENCHMARK(BM_MultilevelBisect)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_DBPartition(benchmark::State& state) {
+  GeneratorParams params;
+  params.num_graphs = 200;
+  params.avg_edges = 20;
+  params.num_labels = 20;
+  params.num_kernels = 20;
+  const GraphDatabase db = GenerateDatabase(params);
+  PartitionOptions options;
+  options.k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PartitionedDatabase::Create(db, options));
+  }
+}
+BENCHMARK(BM_DBPartition)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_BufferPoolFetch(benchmark::State& state) {
+  DiskManager disk;
+  PM_CHECK(disk.Open("/tmp/partminer_bench_pool.pages").ok());
+  BufferPool pool(&disk, static_cast<int>(state.range(0)));
+  constexpr int kPages = 256;
+  for (int i = 0; i < kPages; ++i) {
+    PageId id;
+    char* data = pool.Allocate(&id);
+    data[0] = static_cast<char>(i);
+    pool.Unpin(id, true);
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    const PageId id = static_cast<PageId>(rng.Uniform(kPages));
+    char* data = pool.Fetch(id);
+    benchmark::DoNotOptimize(data[0]);
+    pool.Unpin(id, false);
+  }
+  state.counters["hit_rate"] = pool.stats().HitRate();
+}
+BENCHMARK(BM_BufferPoolFetch)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace partminer
+
+BENCHMARK_MAIN();

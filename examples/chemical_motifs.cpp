@@ -1,0 +1,116 @@
+// Frequent-substructure discovery on molecule-like graphs — the classic
+// application domain of gSpan/Gaston-style miners. Builds a small corpus of
+// synthetic molecules over a chemical alphabet (atoms as vertex labels,
+// bond orders as edge labels), mines the common functional motifs, writes
+// the corpus in the standard gSpan text format, and round-trips it through
+// the reader.
+//
+// Build & run:
+//   ./build/examples/chemical_motifs
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/random.h"
+#include "graph/graph_io.h"
+#include "miner/gaston.h"
+
+namespace {
+
+using namespace partminer;
+
+// Atom alphabet: 0=C, 1=N, 2=O, 3=S. Bonds: 0=single, 1=double, 2=aromatic.
+constexpr const char* kAtoms[] = {"C", "N", "O", "S"};
+
+/// A crude molecule generator: a carbon backbone (path), a chance of an
+/// aromatic 6-ring, plus heteroatom decorations.
+Graph RandomMolecule(Rng* rng) {
+  Graph g;
+  const int backbone = 3 + static_cast<int>(rng->Uniform(5));
+  for (int i = 0; i < backbone; ++i) g.AddVertex(0);  // Carbons.
+  for (int i = 1; i < backbone; ++i) g.AddEdge(i - 1, i, 0);
+
+  if (rng->Bernoulli(0.6)) {
+    // Fuse an aromatic ring onto a random backbone carbon.
+    const VertexId anchor = static_cast<VertexId>(rng->Uniform(backbone));
+    VertexId prev = anchor;
+    VertexId first = -1;
+    for (int i = 0; i < 5; ++i) {
+      const VertexId c = g.AddVertex(0);
+      if (first == -1) first = c;
+      g.AddEdge(prev, c, 2);  // Aromatic bond.
+      prev = c;
+    }
+    g.AddEdge(prev, anchor, 2);
+    (void)first;
+  }
+  // Decorate with heteroatoms.
+  const int decorations = 1 + static_cast<int>(rng->Uniform(3));
+  for (int i = 0; i < decorations; ++i) {
+    const VertexId host = static_cast<VertexId>(rng->Uniform(g.VertexCount()));
+    const Label atom = 1 + static_cast<Label>(rng->Uniform(3));  // N/O/S.
+    const Label bond = rng->Bernoulli(0.3) ? 1 : 0;
+    const VertexId v = g.AddVertex(atom);
+    g.AddEdge(host, v, bond);
+  }
+  return g;
+}
+
+std::string RenderPattern(const DfsCode& code) {
+  // Human-readable rendering: atom symbols and bond markers (-, =, :).
+  const Graph g = code.ToGraph();
+  std::ostringstream out;
+  out << "{";
+  for (const EdgeEntry& e : g.UndirectedEdges()) {
+    const char* bond = e.label == 0 ? "-" : (e.label == 1 ? "=" : ":");
+    out << kAtoms[g.vertex_label(e.from) % 4] << bond
+        << kAtoms[g.vertex_label(e.to) % 4] << " ";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace
+
+int main() {
+  using namespace partminer;
+  Rng rng(2026);
+  GraphDatabase molecules;
+  for (int i = 0; i < 300; ++i) molecules.Add(RandomMolecule(&rng));
+
+  // Persist in the de-facto standard format and read it back.
+  const std::string path = "/tmp/partminer_molecules.lg";
+  Status status = WriteGraphDatabaseFile(molecules, path);
+  if (!status.ok()) {
+    std::printf("write failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  GraphDatabase reloaded;
+  status = ReadGraphDatabaseFile(path, &reloaded);
+  if (!status.ok() || reloaded.size() != molecules.size()) {
+    std::printf("round-trip failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote and reloaded %d molecules via %s\n", reloaded.size(),
+              path.c_str());
+
+  GastonMiner miner;
+  MinerOptions options;
+  options.min_support = static_cast<int>(0.25 * reloaded.size());
+  options.max_edges = 6;
+  const PatternSet motifs = miner.Mine(reloaded, options);
+
+  std::printf("motifs occurring in >=25%% of molecules: %d\n", motifs.size());
+  int shown = 0;
+  for (const PatternInfo& p : motifs.patterns()) {
+    if (p.code.size() < 3) continue;
+    std::printf("  support %3d: %s\n", p.support,
+                RenderPattern(p.code).c_str());
+    if (++shown == 8) break;
+  }
+  std::printf("phases: %lld paths / %lld trees / %lld cyclic\n",
+              static_cast<long long>(miner.stats().frequent_paths),
+              static_cast<long long>(miner.stats().frequent_trees),
+              static_cast<long long>(miner.stats().frequent_cyclic));
+  return 0;
+}

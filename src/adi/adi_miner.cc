@@ -1,0 +1,72 @@
+#include "adi/adi_miner.h"
+
+#include <unistd.h>
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/timing.h"
+#include "miner/gspan.h"
+
+namespace partminer {
+
+namespace {
+
+std::string UniqueTempPath() {
+  static int counter = 0;
+  std::ostringstream out;
+  out << "/tmp/partminer_adi_" << ::getpid() << "_" << counter++ << ".pages";
+  return out.str();
+}
+
+}  // namespace
+
+AdiMine::AdiMine(const AdiMineOptions& options) {
+  const std::string path =
+      options.file_path.empty() ? UniqueTempPath() : options.file_path;
+  PM_CHECK(disk_.Open(path).ok()) << "cannot open ADI page file " << path;
+  disk_.set_simulated_latency_us(options.io_delay_us);
+  pool_ = std::make_unique<BufferPool>(&disk_, options.buffer_frames);
+  index_ = std::make_unique<AdiIndex>(pool_.get());
+}
+
+AdiMine::~AdiMine() = default;
+
+Status AdiMine::BuildIndex(const GraphDatabase& db) {
+  pool_->Clear();
+  PARTMINER_RETURN_IF_ERROR(disk_.Reset());
+  PARTMINER_RETURN_IF_ERROR(index_->Build(db));
+  built_ = true;
+  return Status::Ok();
+}
+
+PatternSet AdiMine::Mine(const MinerOptions& options) {
+  PM_CHECK(built_) << "Mine() before BuildIndex()";
+
+  // Scan phase: the edge table tells which graphs contain any frequent
+  // edge; only those are decoded from their pages.
+  Stopwatch scan_watch;
+  const std::vector<int> relevant =
+      index_->GraphsWithFrequentEdges(options.min_support);
+  // Keep database indices aligned with the original ids so pattern TID
+  // lists are comparable with the other miners: graphs without frequent
+  // edges become empty placeholders.
+  GraphDatabase decoded;
+  size_t next_relevant = 0;
+  for (int i = 0; i < index_->graph_count(); ++i) {
+    if (next_relevant < relevant.size() && relevant[next_relevant] == i) {
+      Graph g;
+      PM_CHECK(index_->LoadGraph(i, &g).ok()) << "index corruption at " << i;
+      decoded.Add(std::move(g), i);
+      ++next_relevant;
+    } else {
+      decoded.Add(Graph(), i);
+    }
+  }
+  last_scan_seconds_ = scan_watch.ElapsedSeconds();
+
+  GSpanMiner miner;
+  return miner.Mine(decoded, options);
+}
+
+}  // namespace partminer

@@ -1,0 +1,59 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace partminer {
+namespace internal_logging {
+
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+void Emit(LogLevel level, const std::string& text) {
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), text.c_str());
+  std::fflush(stderr);
+}
+
+}  // namespace
+
+LogLevel GetMinLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << file << ":" << line << ": ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= GetMinLogLevel()) {
+    Emit(level_, stream_.str());
+  }
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line) {
+  stream_ << file << ":" << line << ": ";
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  Emit(LogLevel::kError, stream_.str());
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace partminer

@@ -1,0 +1,82 @@
+#ifndef PARTMINER_COMMON_LOGGING_H_
+#define PARTMINER_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace partminer {
+
+/// Severity levels for the minimal logger used across the library.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+namespace internal_logging {
+
+/// Process-wide minimum level; messages below it are dropped.
+LogLevel GetMinLogLevel();
+void SetMinLogLevel(LogLevel level);
+
+/// Stream-style log sink that emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction. Used by CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Sets the global minimum log level (default kWarning so that library
+/// internals stay quiet in tests and benchmarks).
+inline void SetLogLevel(LogLevel level) {
+  internal_logging::SetMinLogLevel(level);
+}
+
+#define PM_LOG(level)                                                \
+  ::partminer::internal_logging::LogMessage(                         \
+      ::partminer::LogLevel::k##level, __FILE__, __LINE__)           \
+      .stream()
+
+/// Invariant check: aborts with a message when `cond` is false. Used for
+/// programmer errors (broken invariants), not for recoverable failures.
+#define PM_CHECK(cond)                                                    \
+  if (cond) {                                                             \
+  } else                                                                  \
+    ::partminer::internal_logging::FatalLogMessage(__FILE__, __LINE__)    \
+            .stream()                                                     \
+        << "Check failed: " #cond " "
+
+#define PM_CHECK_EQ(a, b) PM_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define PM_CHECK_NE(a, b) PM_CHECK((a) != (b))
+#define PM_CHECK_LT(a, b) PM_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define PM_CHECK_LE(a, b) PM_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define PM_CHECK_GT(a, b) PM_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define PM_CHECK_GE(a, b) PM_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+}  // namespace partminer
+
+#endif  // PARTMINER_COMMON_LOGGING_H_

@@ -1,0 +1,110 @@
+#ifndef PARTMINER_COMMON_RANDOM_H_
+#define PARTMINER_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace partminer {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256**) used by the
+/// synthetic data generator and the property-based tests. Every workload in
+/// this repository is reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator via splitmix64 so that nearby seeds still yield
+  /// independent-looking streams.
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t Uniform(uint64_t bound) {
+    PM_CHECK_GT(bound, 0u);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    PM_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability `p`.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Sample from a geometric-ish distribution so that the result averages
+  /// `mean` and is at least `min_value`. Used for "average number of edges"
+  /// parameters of the synthetic generator.
+  int PoissonLike(double mean, int min_value) {
+    // Knuth's Poisson sampler; adequate for the small means used here.
+    if (mean <= 0) return min_value;
+    const double limit = 0x1.0p-64 > 0 ? 2.718281828459045 : 0;  // e
+    (void)limit;
+    double l = 1.0;
+    const double target = ExpNeg(mean);
+    int k = 0;
+    do {
+      ++k;
+      l *= UniformDouble();
+    } while (l > target);
+    const int value = k - 1;
+    return value < min_value ? min_value : value;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  /// exp(-x) without pulling in <cmath> at header scope.
+  static double ExpNeg(double x) {
+    // Series/argument-reduction free approach: repeated squaring of
+    // exp(-x/2^n) for small x/2^n via a short Taylor series.
+    int n = 0;
+    while (x > 0.5) {
+      x *= 0.5;
+      ++n;
+    }
+    double y = 1.0 - x + x * x / 2.0 - x * x * x / 6.0 + x * x * x * x / 24.0;
+    while (n-- > 0) y *= y;
+    return y;
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace partminer
+
+#endif  // PARTMINER_COMMON_RANDOM_H_

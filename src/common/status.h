@@ -1,0 +1,78 @@
+#ifndef PARTMINER_COMMON_STATUS_H_
+#define PARTMINER_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace partminer {
+
+/// Lightweight status object for fallible operations (file I/O, parsing).
+/// The mining core is exception-free; functions that can fail return Status
+/// (or set an output parameter and return Status), in the style of the
+/// database codebases this project follows.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kIoError,
+    kCorruption,
+    kNotFound,
+    kOutOfRange,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "IoError: cannot open foo".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "Unknown";
+    switch (code_) {
+      case Code::kOk: name = "OK"; break;
+      case Code::kInvalidArgument: name = "InvalidArgument"; break;
+      case Code::kIoError: name = "IoError"; break;
+      case Code::kCorruption: name = "Corruption"; break;
+      case Code::kNotFound: name = "NotFound"; break;
+      case Code::kOutOfRange: name = "OutOfRange"; break;
+    }
+    return std::string(name) + ": " + message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define PARTMINER_RETURN_IF_ERROR(expr)                  \
+  do {                                                   \
+    ::partminer::Status _status = (expr);                \
+    if (!_status.ok()) return _status;                   \
+  } while (0)
+
+}  // namespace partminer
+
+#endif  // PARTMINER_COMMON_STATUS_H_

@@ -1,0 +1,33 @@
+#ifndef PARTMINER_COMMON_TIMING_H_
+#define PARTMINER_COMMON_TIMING_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace partminer {
+
+/// Wall-clock stopwatch used by the experiment harnesses. All experiment
+/// figures in the paper report elapsed runtime, so the harness measures
+/// steady-clock wall time.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace partminer
+
+#endif  // PARTMINER_COMMON_TIMING_H_

@@ -1,0 +1,343 @@
+#include "core/merge_join.h"
+
+#include "miner/extensions.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.h"
+#include "graph/canonical.h"
+#include "graph/isomorphism.h"
+#include "miner/engine.h"
+#include "miner/gspan.h"
+
+namespace partminer {
+
+void MergeJoinStats::Accumulate(const MergeJoinStats& other) {
+  inherited_patterns += other.inherited_patterns;
+  cached_patterns += other.cached_patterns;
+  delta_recounts += other.delta_recounts;
+  candidates_generated += other.candidates_generated;
+  candidates_counted += other.candidates_counted;
+  candidates_skipped_known += other.candidates_skipped_known;
+  spanning_found += other.spanning_found;
+}
+
+
+
+PatternSet MergeJoin(const GraphDatabase& node_db, const PatternSet& left,
+                     const PatternSet& right, const MergeJoinOptions& options,
+                     MergeJoinStats* stats, NodeFrontier* frontier_out) {
+  MergeJoinStats local_stats;
+  MergeJoinStats* s = stats != nullptr ? stats : &local_stats;
+  s->inherited_patterns += left.size() + right.size();
+
+  // Exact node-level recovery: DFS-code sweep of the recombined database at
+  // the node threshold (see the header comment for why this is the recovery
+  // operator once every node is kept exact), capturing the frontier for the
+  // incremental path.
+  GSpanMiner miner;
+  MinerOptions mo;
+  mo.min_support = options.min_support;
+  mo.max_edges = options.max_edges;
+  if (frontier_out != nullptr) {
+    frontier_out->map.clear();
+    frontier_out->valid = true;
+    mo.capture_frontier = &frontier_out->map;
+  }
+  PatternSet out = miner.Mine(node_db, mo);
+
+  s->candidates_counted += out.size();
+  for (const PatternInfo& p : out.patterns()) {
+    if (!left.Contains(p.code) && !right.Contains(p.code)) {
+      ++s->spanning_found;  // Genuinely cross-partition discovery.
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// True when `code` strictly extends `prefix` (same leading tuples).
+bool ExtendsPrefix(const DfsCode& code, const DfsCode& prefix) {
+  if (code.size() <= prefix.size()) return false;
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    if (!(code[i] == prefix[i])) return false;
+  }
+  return true;
+}
+
+/// The delta-mining sweep behind IncMergeJoin: a gSpan recursion over the
+/// *updated graphs only*. Every encountered extension group resolves its
+/// pre-update TID list from the node's cache (frequent patterns) or its
+/// frontier (everything else ever enumerated; absent means zero pre-update
+/// occurrences), so post-update supports come from set arithmetic alone —
+/// no subgraph-isomorphism counting. Patterns that newly cross the
+/// threshold are completed by a full-projection subtree grow (rare).
+class DeltaSweep {
+ public:
+  DeltaSweep(const GraphDatabase& node_db, const GraphDatabase& upd_db,
+             const PatternSet& cached, FrontierMap* frontier,
+             std::vector<int> updated, const MergeJoinOptions& options,
+             PatternSet* out, MergeJoinStats* stats)
+      : node_db_(node_db),
+        upd_db_(upd_db),
+        cached_(cached),
+        frontier_(frontier),
+        updated_(std::move(updated)),
+        options_(options),
+        out_(out),
+        stats_(stats) {}
+
+  void Run() {
+    // Strip the updated graphs from every frontier entry up front: the
+    // remainder is exactly "pre-update containment that is still valid",
+    // and the sweep re-adds post-update hits for the entries it reaches.
+    // Entries it does not reach have no post-update occurrence in the
+    // updated graphs, so the stripped value is already exact.
+    if (frontier_ != nullptr) {
+      for (auto& [code, tids] : *frontier_) {
+        (void)code;
+        const auto new_end = std::remove_if(
+            tids.begin(), tids.end(), [this](int tid) {
+              return std::binary_search(updated_.begin(), updated_.end(),
+                                        tid);
+            });
+        tids.erase(new_end, tids.end());
+      }
+    }
+    engine::ExtensionMap roots = engine::CollectRootExtensions(upd_db_);
+    DfsCode code;
+    for (const auto& [tuple, projected] : roots) {
+      code.Append(tuple);
+      Handle(&code, projected);
+      code.PopBack();
+    }
+  }
+
+ private:
+  /// Pre-update TID list of `code` restricted to non-updated graphs. The
+  /// frontier was stripped of updated TIDs before the sweep, and cached
+  /// patterns are stripped here.
+  std::vector<int> KeptTids(const DfsCode& code) const {
+    const PatternInfo* info = cached_.Find(code);
+    if (info != nullptr) {
+      std::vector<int> kept;
+      std::set_difference(info->tids.begin(), info->tids.end(),
+                          updated_.begin(), updated_.end(),
+                          std::back_inserter(kept));
+      return kept;
+    }
+    if (frontier_ != nullptr) {
+      const auto it = frontier_->find(code);
+      if (it != frontier_->end()) return it->second;  // Already stripped.
+    }
+    return {};
+  }
+
+  /// Exact post-update TIDs: (old \ updated) ∪ hits-in-updated.
+  std::vector<int> NewTids(const DfsCode& code,
+                           const std::vector<int>& upd_hits) const {
+    const std::vector<int> kept = KeptTids(code);
+    std::vector<int> merged;
+    std::merge(kept.begin(), kept.end(), upd_hits.begin(), upd_hits.end(),
+               std::back_inserter(merged));
+    return merged;
+  }
+
+  /// Processes one extension group reached through the updated graphs.
+  void Handle(DfsCode* code, const engine::Projected& projected) {
+    ++stats_->candidates_generated;
+    const std::vector<int> upd_hits = engine::TidsOf(projected);
+    std::vector<int> tids = NewTids(*code, upd_hits);
+    const int support = static_cast<int>(tids.size());
+    const bool was_cached = cached_.Contains(*code);
+
+    if (support < options_.min_support) {
+      if (frontier_ != nullptr) (*frontier_)[*code] = std::move(tids);
+      if (was_cached) CutSubtree(*code);  // FI: prune the stale subtree.
+      return;  // Apriori: nothing frequent extends an infrequent pattern.
+    }
+    if (!IsMinimalDfsCode(*code)) {
+      // Frequent under a non-minimal code: keep the TIDs for future rounds;
+      // the minimal twin carries the pattern.
+      if (frontier_ != nullptr) (*frontier_)[*code] = std::move(tids);
+      return;
+    }
+    if (!was_cached) {
+      // Newly frequent (IF direction): its subtree was never enumerated
+      // before, so recover it with a full projection over the node database
+      // (exact TIDs are in hand).
+      ++stats_->spanning_found;
+      ++stats_->candidates_counted;
+      if (frontier_ != nullptr) frontier_->erase(*code);  // Promoted.
+      FullGrow(code, tids);
+      return;
+    }
+
+    // Still-frequent cached pattern: exact info by arithmetic; keep sweeping
+    // its extensions inside the updated graphs.
+    ++stats_->candidates_skipped_known;
+    PatternInfo info;
+    info.code = *code;
+    info.support = support;
+    info.tids = std::move(tids);
+    out_->Upsert(std::move(info));
+
+    if (static_cast<int>(code->size()) >= options_.max_edges) return;
+    engine::ExtensionMap extensions = engine::CollectExtensions(
+        upd_db_, *code, projected, /*enable_order_pruning=*/true);
+    for (const auto& [tuple, child_projected] : extensions) {
+      code->Append(tuple);
+      Handle(code, child_projected);
+      code->PopBack();
+    }
+  }
+
+  /// Standard full-projection grow for a newly frequent pattern: emits its
+  /// whole frequent subtree with exact info and records the subtree's
+  /// frontier.
+  void FullGrow(DfsCode* code, const std::vector<int>& tids) {
+    std::deque<engine::Embedding> arena;
+    const engine::Projected projected =
+        engine::ProjectCode(*code, node_db_, tids, &arena);
+    GrowFrom(code, projected);
+  }
+
+  void GrowFrom(DfsCode* code, const engine::Projected& projected) {
+    PatternInfo info;
+    info.code = *code;
+    info.support = engine::SupportOf(projected);
+    info.tids = engine::TidsOf(projected);
+    out_->Upsert(std::move(info));
+
+    if (static_cast<int>(code->size()) >= options_.max_edges) return;
+    engine::ExtensionMap extensions = engine::CollectExtensions(
+        node_db_, *code, projected, /*enable_order_pruning=*/true);
+    for (const auto& [tuple, child_projected] : extensions) {
+      code->Append(tuple);
+      if (engine::SupportOf(child_projected) < options_.min_support) {
+        if (frontier_ != nullptr) {
+          (*frontier_)[*code] = engine::TidsOf(child_projected);
+        }
+      } else if (IsMinimalDfsCode(*code)) {
+        GrowFrom(code, child_projected);
+      } else if (frontier_ != nullptr) {
+        (*frontier_)[*code] = engine::TidsOf(child_projected);
+      }
+      code->PopBack();
+    }
+  }
+
+  /// Discards the frontier subtree of a dropped (frequent -> infrequent)
+  /// pattern. Those entries were derived through occurrences that may have
+  /// vanished; they are re-derived if the region becomes frequent again.
+  /// FI transitions are rare, so a linear scan is acceptable.
+  void CutSubtree(const DfsCode& cut) {
+    if (frontier_ == nullptr) return;
+    for (auto it = frontier_->begin(); it != frontier_->end();) {
+      if (ExtendsPrefix(it->first, cut)) {
+        it = frontier_->erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  const GraphDatabase& node_db_;
+  const GraphDatabase& upd_db_;
+  const PatternSet& cached_;
+  FrontierMap* frontier_;
+  std::vector<int> updated_;
+  const MergeJoinOptions& options_;
+  PatternSet* out_;
+  MergeJoinStats* stats_;
+};
+
+}  // namespace
+
+PatternSet IncMergeJoin(const GraphDatabase& node_db, const PatternSet& cached,
+                        const std::vector<int>& updated_graphs,
+                        const MergeJoinOptions& options,
+                        MergeJoinStats* stats, NodeFrontier* frontier) {
+  MergeJoinStats local_stats;
+  MergeJoinStats* s = stats != nullptr ? stats : &local_stats;
+  s->cached_patterns += cached.size();
+
+  std::vector<int> updated = updated_graphs;
+  std::sort(updated.begin(), updated.end());
+  updated.erase(std::unique(updated.begin(), updated.end()), updated.end());
+
+  if (updated.empty()) {
+    // Nothing changed: the cached set is already exact.
+    return cached;
+  }
+
+  // Cost-model switch: when a large share of the node changed (or the
+  // frontier cache is invalid), the exact re-sweep beats the delta
+  // machinery. Both are exact. The capture cost is paid only when a future
+  // small-update round could use the cache: a small-update round with an
+  // invalid cache re-captures; a large-update round skips the capture and
+  // invalidates.
+  const bool small_update =
+      node_db.size() == 0 ||
+      static_cast<double>(updated.size()) / node_db.size() <=
+          options.delta_sweep_max_fraction;
+  if (!small_update || frontier == nullptr || !frontier->valid) {
+    GSpanMiner miner;
+    MinerOptions mo;
+    mo.min_support = options.min_support;
+    mo.max_edges = options.max_edges;
+    if (frontier != nullptr) {
+      frontier->map.clear();
+      frontier->valid = small_update;  // Re-capture only when worthwhile.
+      if (small_update) mo.capture_frontier = &frontier->map;
+    }
+    PatternSet out = miner.Mine(node_db, mo);
+    s->candidates_counted += out.size();
+    for (const PatternInfo& p : out.patterns()) {
+      if (!cached.Contains(p.code)) ++s->spanning_found;
+    }
+    return out;
+  }
+
+  // Pass 1 — pure set arithmetic for every cached pattern: containment in
+  // non-updated graphs is unchanged, so (old tids \ updated) is a certified
+  // lower bound; patterns the sweep reaches below are overwritten with their
+  // full post-update info (which can only add updated-graph hits).
+  PatternSet out;
+  for (const PatternInfo& p : cached.patterns()) {
+    if (static_cast<int>(p.code.size()) > options.max_edges) continue;
+    ++s->delta_recounts;
+    PatternInfo q;
+    q.code = p.code;
+    std::set_difference(p.tids.begin(), p.tids.end(), updated.begin(),
+                        updated.end(), std::back_inserter(q.tids));
+    q.support = static_cast<int>(q.tids.size());
+    if (q.support >= options.min_support) out.Upsert(std::move(q));
+  }
+
+  // Pass 2 — the frontier-backed delta sweep over the updated graphs. The
+  // frontier map is mutated in place (stripped, refreshed, pruned).
+  if (!updated.empty()) {
+    GraphDatabase upd_db;
+    size_t u = 0;
+    for (int i = 0; i < node_db.size(); ++i) {
+      if (u < updated.size() && updated[u] == i) {
+        upd_db.Add(node_db.graph(i), node_db.gid(i));
+        ++u;
+      } else {
+        upd_db.Add(Graph(), node_db.gid(i));
+      }
+    }
+    DeltaSweep sweep(node_db, upd_db, cached, &frontier->map, updated,
+                     options, &out, s);
+    sweep.Run();
+  }
+  return out;
+}
+
+}  // namespace partminer

@@ -1,0 +1,93 @@
+#ifndef PARTMINER_CORE_MERGE_JOIN_H_
+#define PARTMINER_CORE_MERGE_JOIN_H_
+
+#include <climits>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "miner/extensions.h"
+#include "miner/pattern_set.h"
+
+namespace partminer {
+
+struct MergeJoinOptions {
+  /// Absolute minimum support at this merge node. Children are expected to
+  /// be complete at ceil(min_support / 2) — the paper's reduced-support rule
+  /// (Section 4.4) that makes the recovery lossless.
+  int min_support = 1;
+  int max_edges = INT_MAX;
+
+  /// IncMergeJoin cost-model switch: the update-proportional delta sweep
+  /// wins while the updated graphs are a minority of the node database;
+  /// beyond this fraction a plain exact re-sweep is cheaper. Both paths are
+  /// exact; this only picks the cheaper one.
+  double delta_sweep_max_fraction = 0.15;
+};
+
+/// Work counters for the merge operators.
+struct MergeJoinStats {
+  int64_t inherited_patterns = 0;   // Child patterns fed into the node.
+  int64_t cached_patterns = 0;      // IncMergeJoin: cached patterns reused.
+  int64_t delta_recounts = 0;       // IncMergeJoin: cached patterns delta-verified.
+  int64_t candidates_generated = 0; // Extension candidates examined.
+  int64_t candidates_counted = 0;   // Candidates needing a support count.
+  int64_t candidates_skipped_known = 0;  // Skipped: already in the cache.
+  int64_t spanning_found = 0;       // Newly discovered frequent patterns.
+
+  void Accumulate(const MergeJoinStats& other);
+};
+
+/// The merge-join of Section 4.3, specialized to this implementation's
+/// exact-at-every-node invariant (see DESIGN.md): recovers the *exact*
+/// frequent pattern set of a merge-tree node's recombined database.
+///
+/// With exactness required at each node, the recovery operator for the
+/// static path is equivalent to a full DFS-code sweep of the node database
+/// seeded at its frequent 1-edge patterns (every frequent pattern is
+/// reachable through its minimal-code prefix chain, whose members are
+/// frequent by the Apriori property — Theorems 1-3 in the paper). `left`
+/// and `right` are consulted for statistics; the candidate-reuse machinery
+/// the paper describes pays off in the *incremental* operator below, which
+/// is where the paper's evaluation exercises it.
+///
+/// Every pattern in the result carries exact support and TID lists for
+/// `node_db` (exact_tids set).
+/// `frontier_out`, when non-null, receives the node's mining frontier (see
+/// FrontierMap) for consumption by later IncMergeJoin calls.
+PatternSet MergeJoin(const GraphDatabase& node_db, const PatternSet& left,
+                     const PatternSet& right, const MergeJoinOptions& options,
+                     MergeJoinStats* stats, NodeFrontier* frontier_out);
+
+/// The incremental merge (IncMergeJoin, Figure 12): recovers the exact
+/// frequent pattern set of a node's *updated* database from the node's
+/// cached pre-update pattern set, touching work proportional to the update:
+///
+///  1. Every cached pattern is delta-recounted — only `updated_graphs` are
+///     re-examined; containment elsewhere cannot have changed. Patterns
+///     falling below threshold drop out (the paper's FI direction).
+///  2. New patterns are discovered by sweeping rightmost extensions of
+///     verified patterns *projected onto the updated graphs only*: a
+///     pattern that became frequent must have gained an occurrence, so it
+///     occurs in an updated graph, and so does every prefix of its minimal
+///     code (per-graph Apriori). Support outside the updated graphs is
+///     counted within the parent's exact TID list.
+///
+/// This is the precise sense in which "IncPartMiner makes use of the pruned
+/// results of the pre-updated database to eliminate the generation of
+/// unchanged candidate graphs" (Section 1): unchanged candidates are never
+/// re-generated or re-counted outside the updated graphs.
+/// `frontier` is the node's cached frontier (in/out): candidates looked up
+/// there are re-counted by set arithmetic alone, and the map is replaced by
+/// the post-update frontier. May be null (candidates absent from the cache
+/// then count as having had no pre-update occurrence, which is only correct
+/// when the frontier was captured — pass the map PartMiner recorded).
+PatternSet IncMergeJoin(const GraphDatabase& node_db, const PatternSet& cached,
+                        const std::vector<int>& updated_graphs,
+                        const MergeJoinOptions& options,
+                        MergeJoinStats* stats, NodeFrontier* frontier);
+
+}  // namespace partminer
+
+#endif  // PARTMINER_CORE_MERGE_JOIN_H_

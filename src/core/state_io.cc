@@ -1,0 +1,235 @@
+#include "core/state_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace partminer {
+
+namespace {
+
+constexpr const char* kMagic = "partminer-state";
+constexpr int kVersion = 1;
+
+void WriteCode(const DfsCode& code, std::ostream& out) {
+  out << code.size();
+  for (const DfsEdge& e : code.edges()) {
+    out << ' ' << e.from << ' ' << e.to << ' ' << e.from_label << ' '
+        << e.edge_label << ' ' << e.to_label;
+  }
+}
+
+void WriteTids(const std::vector<int>& tids, std::ostream& out) {
+  out << tids.size();
+  for (const int t : tids) out << ' ' << t;
+}
+
+void WritePatternSet(const PatternSet& set, std::ostream& out) {
+  out << "patterns " << set.size() << '\n';
+  for (const PatternInfo& p : set.patterns()) {
+    WriteCode(p.code, out);
+    out << ' ' << p.support << ' ' << (p.exact_tids ? 1 : 0) << ' ';
+    WriteTids(p.tids, out);
+    out << '\n';
+  }
+}
+
+void WriteFrontier(const NodeFrontier& frontier, std::ostream& out) {
+  out << "frontier " << (frontier.valid ? 1 : 0) << ' '
+      << frontier.map.size() << '\n';
+  for (const auto& [code, tids] : frontier.map) {
+    WriteCode(code, out);
+    out << ' ';
+    WriteTids(tids, out);
+    out << '\n';
+  }
+}
+
+Status ReadCode(std::istream& in, DfsCode* code) {
+  size_t edges = 0;
+  if (!(in >> edges)) return Status::Corruption("bad code length");
+  code->Clear();
+  for (size_t i = 0; i < edges; ++i) {
+    DfsEdge e;
+    if (!(in >> e.from >> e.to >> e.from_label >> e.edge_label >>
+          e.to_label)) {
+      return Status::Corruption("bad code tuple");
+    }
+    code->Append(e);
+  }
+  return Status::Ok();
+}
+
+Status ReadTids(std::istream& in, std::vector<int>* tids) {
+  size_t count = 0;
+  if (!(in >> count)) return Status::Corruption("bad tid count");
+  tids->clear();
+  tids->reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    int t = 0;
+    if (!(in >> t)) return Status::Corruption("bad tid");
+    tids->push_back(t);
+  }
+  return Status::Ok();
+}
+
+Status ReadPatternSet(std::istream& in, PatternSet* set) {
+  std::string tag;
+  int count = 0;
+  if (!(in >> tag >> count) || tag != "patterns") {
+    return Status::Corruption("expected 'patterns <n>'");
+  }
+  *set = PatternSet();
+  for (int i = 0; i < count; ++i) {
+    PatternInfo p;
+    PARTMINER_RETURN_IF_ERROR(ReadCode(in, &p.code));
+    int exact = 1;
+    if (!(in >> p.support >> exact)) {
+      return Status::Corruption("bad pattern header");
+    }
+    p.exact_tids = exact != 0;
+    PARTMINER_RETURN_IF_ERROR(ReadTids(in, &p.tids));
+    set->Upsert(std::move(p));
+  }
+  return Status::Ok();
+}
+
+Status ReadFrontier(std::istream& in, NodeFrontier* frontier) {
+  std::string tag;
+  int valid = 0;
+  size_t count = 0;
+  if (!(in >> tag >> valid >> count) || tag != "frontier") {
+    return Status::Corruption("expected 'frontier <valid> <n>'");
+  }
+  frontier->valid = valid != 0;
+  frontier->map.clear();
+  for (size_t i = 0; i < count; ++i) {
+    DfsCode code;
+    PARTMINER_RETURN_IF_ERROR(ReadCode(in, &code));
+    std::vector<int> tids;
+    PARTMINER_RETURN_IF_ERROR(ReadTids(in, &tids));
+    frontier->map.emplace(std::move(code), std::move(tids));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SaveMinerState(const PartMiner& miner, std::ostream& out) {
+  if (!miner.mined()) {
+    return Status::InvalidArgument("miner has not completed Mine()");
+  }
+  const PartitionedDatabase& part = miner.partitioned();
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "root_support " << miner.root_support() << '\n';
+  out << "k " << part.k() << '\n';
+
+  const auto& assignments = part.assignments();
+  out << "graphs " << assignments.size() << '\n';
+  for (const std::vector<int>& units : assignments) {
+    out << units.size();
+    for (const int u : units) out << ' ' << u;
+    out << '\n';
+  }
+
+  out << "nodes " << miner.node_patterns().size() << '\n';
+  for (size_t node = 0; node < miner.node_patterns().size(); ++node) {
+    WritePatternSet(miner.node_patterns()[node], out);
+    WriteFrontier(miner.node_frontiers()[node], out);
+  }
+  out << "verified\n";
+  WritePatternSet(miner.verified(), out);
+  if (!out) return Status::IoError("write failed");
+  return Status::Ok();
+}
+
+Status SaveMinerStateFile(const PartMiner& miner, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  return SaveMinerState(miner, out);
+}
+
+Status LoadMinerState(std::istream& in, PartMiner* miner) {
+  std::string magic, tag;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kMagic) {
+    return Status::Corruption("not a partminer state file");
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported state version " +
+                                   std::to_string(version));
+  }
+
+  int root_support = 0;
+  if (!(in >> tag >> root_support) || tag != "root_support") {
+    return Status::Corruption("expected root_support");
+  }
+  int k = 0;
+  if (!(in >> tag >> k) || tag != "k") {
+    return Status::Corruption("expected k");
+  }
+  if (k != miner->options().partition.k) {
+    return Status::InvalidArgument(
+        "state was saved with k=" + std::to_string(k) +
+        " but the miner is configured with k=" +
+        std::to_string(miner->options().partition.k));
+  }
+
+  size_t graphs = 0;
+  if (!(in >> tag >> graphs) || tag != "graphs") {
+    return Status::Corruption("expected graphs");
+  }
+  std::vector<std::vector<int>> assignments(graphs);
+  for (std::vector<int>& units : assignments) {
+    size_t n = 0;
+    if (!(in >> n)) return Status::Corruption("bad assignment length");
+    units.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (!(in >> units[i]) || units[i] < 0 || units[i] >= k) {
+        return Status::Corruption("bad unit assignment");
+      }
+    }
+  }
+
+  size_t nodes = 0;
+  if (!(in >> tag >> nodes) || tag != "nodes") {
+    return Status::Corruption("expected nodes");
+  }
+  std::vector<PatternSet> node_patterns(nodes);
+  std::vector<NodeFrontier> node_frontiers(nodes);
+  for (size_t node = 0; node < nodes; ++node) {
+    PARTMINER_RETURN_IF_ERROR(ReadPatternSet(in, &node_patterns[node]));
+    PARTMINER_RETURN_IF_ERROR(ReadFrontier(in, &node_frontiers[node]));
+  }
+
+  if (!(in >> tag) || tag != "verified") {
+    return Status::Corruption("expected verified");
+  }
+  PatternSet verified;
+  PARTMINER_RETURN_IF_ERROR(ReadPatternSet(in, &verified));
+
+  // Install (only after everything parsed and validated, so a failed load
+  // leaves the miner untouched).
+  PartitionedDatabase part =
+      PartitionedDatabase::Restore(k, std::move(assignments));
+  if (part.tree().size() != nodes) {
+    return Status::Corruption("node count does not match the merge tree");
+  }
+  miner->mutable_partitioned() = std::move(part);
+  miner->mutable_node_patterns() = std::move(node_patterns);
+  miner->mutable_node_frontiers() = std::move(node_frontiers);
+  miner->set_verified(std::move(verified));
+  miner->RestoreMinedState(root_support);
+  return Status::Ok();
+}
+
+Status LoadMinerStateFile(const std::string& path, PartMiner* miner) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  return LoadMinerState(in, miner);
+}
+
+}  // namespace partminer

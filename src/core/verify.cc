@@ -1,0 +1,148 @@
+#include "core/verify.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "core/merge_join.h"
+#include "graph/canonical.h"
+#include "graph/isomorphism.h"
+
+namespace partminer {
+
+namespace {
+
+/// Candidates grouped by edge count, ascending. Pointers stay valid while
+/// `candidates` is unmodified, which Verify guarantees.
+std::vector<std::vector<const PatternInfo*>> ByLevel(
+    const PatternSet& candidates) {
+  std::vector<std::vector<const PatternInfo*>> levels;
+  for (const PatternInfo& p : candidates.patterns()) {
+    const size_t k = p.code.size();
+    if (levels.size() < k) levels.resize(k);
+    levels[k - 1].push_back(&p);
+  }
+  return levels;
+}
+
+/// Finds the verified (k-1)-subpattern of `pattern` with the smallest TID
+/// list; returns nullptr when none of the subpatterns verified (Apriori:
+/// the pattern is infrequent).
+const PatternInfo* SmallestVerifiedParent(const Graph& pattern,
+                                          const PatternSet& verified) {
+  const PatternInfo* best = nullptr;
+  ForEachMaximalSubpattern(pattern, [&](const DfsCode& sub) {
+    const PatternInfo* info = verified.Find(sub);
+    if (info != nullptr &&
+        (best == nullptr || info->tids.size() < best->tids.size())) {
+      best = info;
+    }
+  });
+  return best;
+}
+
+using DeltaContext = struct {
+  const PatternSet* old_verified;
+  const std::vector<int>* updated_graphs;
+};
+
+/// Counts `candidate` on `db` exactly. Order of preference: trust an
+/// already-exact candidate, delta recount (old info available),
+/// parent-TID-restricted count, full scan (1-edge or no parent info).
+bool CountPattern(const GraphDatabase& db, const PatternInfo& candidate,
+                  const PatternSet& verified, int min_support,
+                  const DeltaContext* delta, VerifyStats* stats,
+                  PatternInfo* out) {
+  const DfsCode& code = candidate.code;
+  if (candidate.exact_tids) {
+    // Counted exactly against `db` upstream (the root merge node's database
+    // is the database itself); only the threshold filter remains.
+    if (candidate.support < min_support) return false;
+    *out = candidate;
+    return true;
+  }
+  const Graph pattern = code.ToGraph();
+
+  if (delta != nullptr) {
+    const PatternInfo* old_info = delta->old_verified->Find(code);
+    if (old_info != nullptr) {
+      // Delta recount: only updated graphs can change containment.
+      std::vector<int> tids;
+      std::set_difference(old_info->tids.begin(), old_info->tids.end(),
+                          delta->updated_graphs->begin(),
+                          delta->updated_graphs->end(),
+                          std::back_inserter(tids));
+      const SubgraphMatcher matcher(pattern);
+      std::vector<int> updated_hits;
+      stats->graphs_examined +=
+          static_cast<int64_t>(delta->updated_graphs->size());
+      matcher.CountSupportAmong(db, *delta->updated_graphs, &updated_hits);
+      std::vector<int> merged;
+      std::merge(tids.begin(), tids.end(), updated_hits.begin(),
+                 updated_hits.end(), std::back_inserter(merged));
+      if (static_cast<int>(merged.size()) < min_support) return false;
+      out->code = code;
+      out->support = static_cast<int>(merged.size());
+      out->tids = std::move(merged);
+      return true;
+    }
+  }
+
+  const SubgraphMatcher matcher(pattern);
+  if (code.size() == 1) {
+    ++stats->full_scans;
+    stats->graphs_examined += db.size();
+    out->support = matcher.CountSupport(db, &out->tids);
+  } else {
+    const PatternInfo* parent = SmallestVerifiedParent(pattern, verified);
+    if (parent == nullptr) {
+      ++stats->apriori_dropped;
+      return false;
+    }
+    stats->graphs_examined += static_cast<int64_t>(parent->tids.size());
+    out->support = matcher.CountSupportAmong(db, parent->tids, &out->tids);
+  }
+  if (out->support < min_support) return false;
+  out->code = code;
+  return true;
+}
+
+PatternSet Verify(const GraphDatabase& db, const PatternSet& candidates,
+                  int min_support, const DeltaContext* delta,
+                  VerifyStats* stats) {
+  VerifyStats local;
+  VerifyStats* s = stats != nullptr ? stats : &local;
+  s->patterns_in += candidates.size();
+
+  PatternSet verified;
+  for (const std::vector<const PatternInfo*>& level : ByLevel(candidates)) {
+    for (const PatternInfo* candidate : level) {
+      PatternInfo info;
+      if (CountPattern(db, *candidate, verified, min_support, delta, s,
+                       &info)) {
+        verified.Upsert(std::move(info));
+        ++s->patterns_kept;
+      }
+    }
+  }
+  return verified;
+}
+
+}  // namespace
+
+PatternSet VerifyExact(const GraphDatabase& db, const PatternSet& candidates,
+                       int min_support, VerifyStats* stats) {
+  return Verify(db, candidates, min_support, /*delta=*/nullptr, stats);
+}
+
+PatternSet VerifyDelta(const GraphDatabase& db, const PatternSet& candidates,
+                       const PatternSet& old_verified,
+                       const std::vector<int>& updated_graphs,
+                       int min_support, VerifyStats* stats) {
+  std::vector<int> sorted_updated = updated_graphs;
+  std::sort(sorted_updated.begin(), sorted_updated.end());
+  DeltaContext delta{&old_verified, &sorted_updated};
+  return Verify(db, candidates, min_support, &delta, stats);
+}
+
+}  // namespace partminer

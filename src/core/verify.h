@@ -1,0 +1,48 @@
+#ifndef PARTMINER_CORE_VERIFY_H_
+#define PARTMINER_CORE_VERIFY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "miner/pattern_set.h"
+
+namespace partminer {
+
+struct VerifyStats {
+  int64_t patterns_in = 0;
+  int64_t patterns_kept = 0;
+  int64_t full_scans = 0;       // Patterns counted against the whole db.
+  int64_t graphs_examined = 0;  // Total subgraph-iso host graphs examined.
+  int64_t apriori_dropped = 0;  // Dropped without counting (parent missing).
+};
+
+/// Exact root verification: re-counts every candidate pattern of `candidates`
+/// against `db` and keeps those with support >= min_support, with exact
+/// supports and TID lists.
+///
+/// Counting is TID-restricted level by level: 1-edge patterns come from one
+/// database scan; a k-edge pattern is counted only inside the TID list of
+/// one of its verified (k-1)-edge subpatterns (any occurrence of the pattern
+/// implies an occurrence of the subpattern in the same graph). A pattern
+/// whose subpatterns all failed verification is dropped without counting —
+/// the Apriori property (Theorem 2) guarantees it is infrequent.
+PatternSet VerifyExact(const GraphDatabase& db, const PatternSet& candidates,
+                       int min_support, VerifyStats* stats);
+
+/// Incremental exact verification after updates: like VerifyExact on the
+/// post-update database `db`, but patterns present in `old_verified` (exact
+/// on the pre-update database) are re-counted only on `updated_graphs` —
+/// their support elsewhere cannot have changed:
+///   new_tids = (old_tids \ updated_graphs) ∪ {g ∈ updated_graphs : p ⊑ g}.
+/// Patterns absent from `old_verified` are handled exactly as in
+/// VerifyExact. This is the delta recount that gives IncPartMiner its
+/// update-proportional cost.
+PatternSet VerifyDelta(const GraphDatabase& db, const PatternSet& candidates,
+                       const PatternSet& old_verified,
+                       const std::vector<int>& updated_graphs,
+                       int min_support, VerifyStats* stats);
+
+}  // namespace partminer
+
+#endif  // PARTMINER_CORE_VERIFY_H_

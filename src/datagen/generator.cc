@@ -1,0 +1,164 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace partminer {
+
+namespace {
+
+/// Random connected graph with roughly `edges` edges: a random spanning tree
+/// over a proportionate number of vertices plus random chords.
+Graph RandomKernel(Rng* rng, int edges, int num_labels) {
+  edges = std::max(1, edges);
+  // Keep kernels tree-ish (the paper's frequent patterns are mostly trees):
+  // ~80% of edges go to the spanning tree.
+  const int vertices =
+      std::max(2, std::min(edges + 1, static_cast<int>(edges * 0.8) + 1));
+  Graph g;
+  for (int i = 0; i < vertices; ++i) {
+    g.AddVertex(static_cast<Label>(rng->Uniform(num_labels)));
+  }
+  for (int v = 1; v < vertices; ++v) {
+    g.AddEdge(static_cast<VertexId>(rng->Uniform(v)), v,
+              static_cast<Label>(rng->Uniform(num_labels)));
+  }
+  int attempts = 4 * edges;
+  while (g.EdgeCount() < edges && attempts-- > 0) {
+    const VertexId u = static_cast<VertexId>(rng->Uniform(vertices));
+    const VertexId v = static_cast<VertexId>(rng->Uniform(vertices));
+    if (u == v || g.HasEdge(u, v)) continue;
+    g.AddEdge(u, v, static_cast<Label>(rng->Uniform(num_labels)));
+  }
+  return g;
+}
+
+/// Copies `kernel` into `g` as fresh vertices; returns the id of one copied
+/// vertex so the caller can bridge it to the rest of the graph.
+VertexId EmbedKernel(Graph* g, const Graph& kernel) {
+  const VertexId base = g->VertexCount();
+  for (VertexId v = 0; v < kernel.VertexCount(); ++v) {
+    g->AddVertex(kernel.vertex_label(v));
+  }
+  for (const EdgeEntry& e : kernel.UndirectedEdges()) {
+    g->AddEdge(base + e.from, base + e.to, e.label);
+  }
+  return base;
+}
+
+}  // namespace
+
+std::string GeneratorParams::Tag() const {
+  std::ostringstream out;
+  out << "D" << num_graphs << "T" << avg_edges << "N" << num_labels << "L"
+      << num_kernels << "I" << avg_kernel_edges;
+  return out.str();
+}
+
+GraphDatabase GenerateDatabase(const GeneratorParams& params) {
+  PM_CHECK_GT(params.num_graphs, 0);
+  PM_CHECK_GT(params.num_labels, 0);
+  PM_CHECK_GT(params.num_kernels, 0);
+  Rng rng(params.seed);
+
+  // Potentially frequent kernels with exponentially distributed popularity
+  // (a few kernels appear in many graphs; the tail is rare).
+  std::vector<Graph> kernels;
+  std::vector<double> cumulative;
+  double total_weight = 0;
+  kernels.reserve(params.num_kernels);
+  for (int i = 0; i < params.num_kernels; ++i) {
+    const int size = rng.PoissonLike(params.avg_kernel_edges, 1);
+    kernels.push_back(RandomKernel(&rng, size, params.num_labels));
+    const double weight = -std::log(1.0 - rng.UniformDouble() * 0.999999);
+    total_weight += weight;
+    cumulative.push_back(total_weight);
+  }
+  auto sample_kernel = [&]() -> const Graph& {
+    const double x = rng.UniformDouble() * total_weight;
+    const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), x);
+    return kernels[it - cumulative.begin()];
+  };
+
+  GraphDatabase db;
+  for (int gi = 0; gi < params.num_graphs; ++gi) {
+    const int target_edges = std::max(1, rng.PoissonLike(params.avg_edges, 1));
+    Graph g;
+
+    // Overlay kernels until the edge budget is ~70% consumed.
+    while (g.EdgeCount() < target_edges * 0.7) {
+      const Graph& kernel = sample_kernel();
+      const VertexId anchor = EmbedKernel(&g, kernel);
+      if (anchor > 0) {
+        // Bridge the new kernel to the existing part to stay connected.
+        const VertexId other = static_cast<VertexId>(rng.Uniform(anchor));
+        const VertexId inside =
+            anchor + static_cast<VertexId>(
+                         rng.Uniform(g.VertexCount() - anchor));
+        g.AddEdge(other, inside,
+                  static_cast<Label>(rng.Uniform(params.num_labels)));
+      }
+      if (g.EdgeCount() >= target_edges) break;
+    }
+
+    // Pad with random noise edges/vertices up to the target size.
+    int attempts = 4 * target_edges;
+    while (g.EdgeCount() < target_edges && attempts-- > 0) {
+      if (rng.Bernoulli(0.5) && g.VertexCount() >= 2) {
+        const VertexId u = static_cast<VertexId>(rng.Uniform(g.VertexCount()));
+        const VertexId v = static_cast<VertexId>(rng.Uniform(g.VertexCount()));
+        if (u == v || g.HasEdge(u, v)) continue;
+        g.AddEdge(u, v, static_cast<Label>(rng.Uniform(params.num_labels)));
+      } else {
+        const VertexId v =
+            g.AddVertex(static_cast<Label>(rng.Uniform(params.num_labels)));
+        const VertexId u = static_cast<VertexId>(rng.Uniform(v));
+        g.AddEdge(u, v, static_cast<Label>(rng.Uniform(params.num_labels)));
+      }
+    }
+    PM_CHECK(g.IsConnected());
+    db.Add(std::move(g));
+  }
+  return db;
+}
+
+void AssignUpdateHotspots(GraphDatabase* db, double fraction, uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < db->size(); ++i) {
+    Graph& g = db->mutable_graph(i);
+    const int n = g.VertexCount();
+    if (n == 0) continue;
+    // Updates in the paper's motivating applications (spatio-temporal data)
+    // have spatial locality: the frequently-changing vertices form a
+    // connected region, which is precisely what the isolation criterion of
+    // Section 4.1 can confine to one unit. Mark a BFS ball around a random
+    // center as hot.
+    const int target = std::max(1, static_cast<int>(fraction * n));
+    std::vector<VertexId> queue = {static_cast<VertexId>(rng.Uniform(n))};
+    std::vector<bool> seen(n, false);
+    seen[queue[0]] = true;
+    size_t head = 0;
+    int marked = 0;
+    while (marked < target && head < queue.size()) {
+      const VertexId v = queue[head++];
+      // Geometric-ish positive frequency, mean ~2, hotter near the center.
+      uint32_t f = 1;
+      while (rng.Bernoulli(0.5) && f < 16) ++f;
+      g.set_update_freq(v, f);
+      ++marked;
+      for (const EdgeEntry& e : g.adjacency(v)) {
+        if (!seen[e.to]) {
+          seen[e.to] = true;
+          queue.push_back(e.to);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace partminer

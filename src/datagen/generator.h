@@ -1,0 +1,43 @@
+#ifndef PARTMINER_DATAGEN_GENERATOR_H_
+#define PARTMINER_DATAGEN_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace partminer {
+
+/// Parameters of the synthetic graph generator (Table 1 of the paper, after
+/// the generator of Kuramochi & Karypis used by ADI [15]): L potentially
+/// frequent kernels of average size I are planted into D graphs of average
+/// size T edges over N distinct labels.
+struct GeneratorParams {
+  int num_graphs = 1000;      // D: total number of graphs.
+  int num_labels = 20;        // N: possible vertex/edge labels.
+  int avg_edges = 20;         // T: average number of edges per graph.
+  int avg_kernel_edges = 5;   // I: average edges in frequent kernels.
+  int num_kernels = 200;      // L: number of potentially frequent kernels.
+  uint64_t seed = 1;
+
+  /// Tag like "D1000T20N20L200I5" used in experiment reports, mirroring the
+  /// dataset naming of Section 5.
+  std::string Tag() const;
+};
+
+/// Generates a database of connected labeled graphs: each graph overlays one
+/// or more kernels (sampled with exponentially distributed popularity, so a
+/// subset of kernels is genuinely frequent) connected by bridge edges, then
+/// pads with random vertices/edges up to its target size.
+GraphDatabase GenerateDatabase(const GeneratorParams& params);
+
+/// Marks a random `fraction` of each graph's vertices as update hotspots by
+/// assigning them positive update frequencies (geometric, mean ~2). The
+/// partitioning criteria of Section 4.1 consume these frequencies, and the
+/// update generator prefers hot vertices, modeling the paper's assumption
+/// that updates concentrate on frequently-changing vertices.
+void AssignUpdateHotspots(GraphDatabase* db, double fraction, uint64_t seed);
+
+}  // namespace partminer
+
+#endif  // PARTMINER_DATAGEN_GENERATOR_H_

@@ -1,0 +1,134 @@
+#include "datagen/update_generator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace partminer {
+
+namespace {
+
+/// Picks an update target vertex, preferring hotspots (positive ufreq) and,
+/// among them, *interior* ones (all neighbors also hot): updates then stay
+/// inside the hot region, which is the behavior the isolation criterion of
+/// Section 4.1 is designed to exploit.
+VertexId PickVertex(Rng* rng, const Graph& g, double hotspot_locality) {
+  if (rng->Bernoulli(hotspot_locality)) {
+    std::vector<VertexId> hot;
+    std::vector<VertexId> interior;
+    for (VertexId v = 0; v < g.VertexCount(); ++v) {
+      if (g.update_freq(v) == 0) continue;
+      hot.push_back(v);
+      bool all_hot = true;
+      for (const EdgeEntry& e : g.adjacency(v)) {
+        if (g.update_freq(e.to) == 0) {
+          all_hot = false;
+          break;
+        }
+      }
+      if (all_hot) interior.push_back(v);
+    }
+    if (!interior.empty()) return interior[rng->Uniform(interior.size())];
+    if (!hot.empty()) return hot[rng->Uniform(hot.size())];
+  }
+  return static_cast<VertexId>(rng->Uniform(g.VertexCount()));
+}
+
+Label PickLabel(Rng* rng, int num_labels, double new_label_probability) {
+  if (rng->Bernoulli(new_label_probability)) {
+    return static_cast<Label>(num_labels + rng->Uniform(4));
+  }
+  return static_cast<Label>(rng->Uniform(num_labels));
+}
+
+}  // namespace
+
+UpdateLog ApplyUpdates(GraphDatabase* db, int num_labels,
+                       const UpdateOptions& options) {
+  PM_CHECK(!options.kinds.empty());
+  Rng rng(options.seed);
+  UpdateLog log;
+
+  for (int gi = 0; gi < db->size(); ++gi) {
+    if (!rng.Bernoulli(options.fraction_graphs)) continue;
+    Graph& g = db->mutable_graph(gi);
+    if (g.VertexCount() == 0) continue;
+    log.updated_graphs.push_back(gi);
+
+    for (int step = 0; step < options.updates_per_graph; ++step) {
+      const UpdateKind kind = options.kinds[rng.Uniform(options.kinds.size())];
+      switch (kind) {
+        case UpdateKind::kRelabel: {
+          const VertexId v = PickVertex(&rng, g, options.hotspot_locality);
+          if (rng.Bernoulli(0.5) || g.Degree(v) == 0) {
+            // Relabel the vertex itself.
+            g.set_vertex_label(
+                v, PickLabel(&rng, num_labels, options.new_label_probability));
+            g.BumpUpdateFreq(v);
+            log.touched_vertices.emplace_back(gi, v);
+          } else {
+            // Relabel an incident edge, preferring one staying inside the
+            // hot region; both endpoints are touched.
+            const auto& adj = g.adjacency(v);
+            std::vector<const EdgeEntry*> hot_edges;
+            for (const EdgeEntry& candidate : adj) {
+              if (g.update_freq(candidate.to) > 0) {
+                hot_edges.push_back(&candidate);
+              }
+            }
+            const EdgeEntry e =
+                !hot_edges.empty() && rng.Bernoulli(options.hotspot_locality)
+                    ? *hot_edges[rng.Uniform(hot_edges.size())]
+                    : adj[rng.Uniform(adj.size())];
+            g.SetEdgeLabel(
+                e.from, e.to,
+                PickLabel(&rng, num_labels, options.new_label_probability));
+            g.BumpUpdateFreq(e.from);
+            g.BumpUpdateFreq(e.to);
+            log.touched_vertices.emplace_back(gi, e.from);
+            log.touched_vertices.emplace_back(gi, e.to);
+          }
+          break;
+        }
+        case UpdateKind::kAddEdge: {
+          if (g.VertexCount() < 2) break;
+          const VertexId u = PickVertex(&rng, g, options.hotspot_locality);
+          bool added = false;
+          for (int attempt = 0; attempt < 8 && !added; ++attempt) {
+            // The second endpoint is also locality-biased: new edges appear
+            // inside the frequently-updated region, which is what the
+            // isolation criterion of Section 4.1 banks on.
+            const VertexId v = PickVertex(&rng, g, options.hotspot_locality);
+            if (v == u || g.HasEdge(u, v)) continue;
+            g.AddEdge(u, v,
+                      PickLabel(&rng, num_labels,
+                                options.new_label_probability));
+            g.BumpUpdateFreq(u);
+            g.BumpUpdateFreq(v);
+            log.touched_vertices.emplace_back(gi, u);
+            log.touched_vertices.emplace_back(gi, v);
+            added = true;
+          }
+          break;
+        }
+        case UpdateKind::kAddVertex: {
+          const VertexId attach = PickVertex(&rng, g, options.hotspot_locality);
+          const VertexId v = g.AddVertex(
+              PickLabel(&rng, num_labels, options.new_label_probability));
+          g.AddEdge(attach, v,
+                    PickLabel(&rng, num_labels,
+                              options.new_label_probability));
+          g.BumpUpdateFreq(attach);
+          g.BumpUpdateFreq(v);
+          log.touched_vertices.emplace_back(gi, attach);
+          log.touched_vertices.emplace_back(gi, v);
+          break;
+        }
+      }
+    }
+  }
+  return log;
+}
+
+}  // namespace partminer

@@ -1,0 +1,59 @@
+#ifndef PARTMINER_DATAGEN_UPDATE_GENERATOR_H_
+#define PARTMINER_DATAGEN_UPDATE_GENERATOR_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace partminer {
+
+/// The three update kinds of Section 5: (1) relabel an existing vertex or
+/// edge, (2) add a new edge between existing vertices, (3) add a new vertex
+/// together with an edge attaching it.
+enum class UpdateKind {
+  kRelabel = 0,
+  kAddEdge = 1,
+  kAddVertex = 2,
+};
+
+struct UpdateOptions {
+  /// Fraction of database graphs that receive updates (the paper varies this
+  /// from 20% to 80%).
+  double fraction_graphs = 0.4;
+
+  /// Number of individual updates applied to each selected graph.
+  int updates_per_graph = 2;
+
+  /// Update kinds to sample from (uniformly).
+  std::vector<UpdateKind> kinds = {UpdateKind::kRelabel, UpdateKind::kAddEdge,
+                                   UpdateKind::kAddVertex};
+
+  /// Probability that a relabel introduces a label outside [0, num_labels)
+  /// ("existing or new labels" in the paper).
+  double new_label_probability = 0.2;
+
+  /// Probability that an update targets a hotspot vertex (one with positive
+  /// update frequency) when the graph has any. Models the temporal locality
+  /// that the isolation criterion of Section 4.1 exploits.
+  double hotspot_locality = 0.8;
+
+  uint64_t seed = 7;
+};
+
+/// What an update round touched: which graphs changed, and which vertices
+/// (by database index and vertex id, post-update ids for new vertices).
+struct UpdateLog {
+  std::vector<int> updated_graphs;
+  std::vector<std::pair<int, VertexId>> touched_vertices;
+};
+
+/// Applies random updates to `db` in place. Every touched vertex gets its
+/// update frequency bumped. `num_labels` is the generator's N parameter.
+UpdateLog ApplyUpdates(GraphDatabase* db, int num_labels,
+                       const UpdateOptions& options);
+
+}  // namespace partminer
+
+#endif  // PARTMINER_DATAGEN_UPDATE_GENERATOR_H_

@@ -1,0 +1,112 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace partminer {
+
+namespace {
+
+Status ParseError(int line_number, const std::string& line,
+                  const std::string& why) {
+  std::ostringstream msg;
+  msg << "line " << line_number << " ('" << line << "'): " << why;
+  return Status::Corruption(msg.str());
+}
+
+}  // namespace
+
+Status ReadGraphDatabase(std::istream& in, GraphDatabase* db) {
+  std::string line;
+  int line_number = 0;
+  bool have_graph = false;
+  Graph current;
+  GraphId current_gid = -1;
+
+  auto flush = [&]() {
+    if (have_graph) db->Add(std::move(current), current_gid);
+    current = Graph();
+    have_graph = false;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::istringstream tokens(line);
+    std::string tag;
+    if (!(tokens >> tag)) continue;  // Blank line.
+    if (tag == "t") {
+      std::string hash;
+      long gid = -1;
+      if (!(tokens >> hash >> gid) || hash != "#") {
+        return ParseError(line_number, line, "expected 't # <gid>'");
+      }
+      flush();
+      have_graph = true;
+      current_gid = static_cast<GraphId>(gid);
+    } else if (tag == "v") {
+      long id = -1, label = -1;
+      if (!(tokens >> id >> label)) {
+        return ParseError(line_number, line, "expected 'v <id> <label>'");
+      }
+      if (!have_graph) {
+        return ParseError(line_number, line, "vertex before 't' header");
+      }
+      if (id != current.VertexCount()) {
+        return ParseError(line_number, line, "non-dense vertex id");
+      }
+      current.AddVertex(static_cast<Label>(label));
+    } else if (tag == "e") {
+      long from = -1, to = -1, label = -1;
+      if (!(tokens >> from >> to >> label)) {
+        return ParseError(line_number, line,
+                          "expected 'e <from> <to> <label>'");
+      }
+      if (!have_graph) {
+        return ParseError(line_number, line, "edge before 't' header");
+      }
+      if (from < 0 || to < 0 || from >= current.VertexCount() ||
+          to >= current.VertexCount() || from == to) {
+        return ParseError(line_number, line, "edge endpoint out of range");
+      }
+      current.AddEdge(static_cast<VertexId>(from), static_cast<VertexId>(to),
+                      static_cast<Label>(label));
+    } else if (tag[0] == '#') {
+      continue;  // Comment.
+    } else {
+      return ParseError(line_number, line, "unknown record tag");
+    }
+  }
+  flush();
+  return Status::Ok();
+}
+
+Status ReadGraphDatabaseFile(const std::string& path, GraphDatabase* db) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  return ReadGraphDatabase(in, db);
+}
+
+Status WriteGraphDatabase(const GraphDatabase& db, std::ostream& out) {
+  for (int i = 0; i < db.size(); ++i) {
+    const Graph& g = db.graph(i);
+    out << "t # " << db.gid(i) << "\n";
+    for (VertexId v = 0; v < g.VertexCount(); ++v) {
+      out << "v " << v << " " << g.vertex_label(v) << "\n";
+    }
+    for (const EdgeEntry& e : g.UndirectedEdges()) {
+      out << "e " << e.from << " " << e.to << " " << e.label << "\n";
+    }
+  }
+  if (!out) return Status::IoError("write failed");
+  return Status::Ok();
+}
+
+Status WriteGraphDatabaseFile(const GraphDatabase& db,
+                              const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  return WriteGraphDatabase(db, out);
+}
+
+}  // namespace partminer

@@ -1,0 +1,96 @@
+#include "miner/brute_force.h"
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/canonical.h"
+
+namespace partminer {
+
+namespace {
+
+/// Builds the pattern graph induced by the edge subset `chosen` of `g`
+/// (vertices renumbered densely).
+Graph InducedPattern(const Graph& g, const std::vector<EdgeEntry>& edges,
+                     const std::vector<bool>& chosen) {
+  Graph pattern;
+  std::vector<VertexId> remap(g.VertexCount(), -1);
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (!chosen[i]) continue;
+    for (const VertexId v : {edges[i].from, edges[i].to}) {
+      if (remap[v] == -1) remap[v] = pattern.AddVertex(g.vertex_label(v));
+    }
+    pattern.AddEdge(remap[edges[i].from], remap[edges[i].to], edges[i].label);
+  }
+  return pattern;
+}
+
+/// Enumerates connected edge subsets that contain edge `seed` as their
+/// minimum-index edge, growing only by adjacent edges of larger index.
+void Enumerate(const Graph& g, const std::vector<EdgeEntry>& edges,
+               size_t seed, std::vector<bool>* chosen,
+               std::vector<bool>* vertex_in, int size, int max_edges,
+               std::set<DfsCode>* out) {
+  {
+    const Graph pattern = InducedPattern(g, edges, *chosen);
+    out->insert(MinimumDfsCode(pattern));
+  }
+  if (size >= max_edges) return;
+
+  for (size_t i = seed + 1; i < edges.size(); ++i) {
+    if ((*chosen)[i]) continue;
+    const bool touches =
+        (*vertex_in)[edges[i].from] || (*vertex_in)[edges[i].to];
+    if (!touches) continue;
+    const bool from_was_in = (*vertex_in)[edges[i].from];
+    const bool to_was_in = (*vertex_in)[edges[i].to];
+    (*chosen)[i] = true;
+    (*vertex_in)[edges[i].from] = true;
+    (*vertex_in)[edges[i].to] = true;
+    Enumerate(g, edges, seed, chosen, vertex_in, size + 1, max_edges, out);
+    (*chosen)[i] = false;
+    (*vertex_in)[edges[i].from] = from_was_in;
+    (*vertex_in)[edges[i].to] = to_was_in;
+  }
+}
+
+}  // namespace
+
+PatternSet BruteForceMiner::Mine(const GraphDatabase& db,
+                                 const MinerOptions& options) {
+  // Canonical code -> TID list.
+  std::unordered_map<DfsCode, std::vector<int>, DfsCodeHash> counts;
+
+  for (int gi = 0; gi < db.size(); ++gi) {
+    const Graph& g = db.graph(gi);
+    const std::vector<EdgeEntry> edges = g.UndirectedEdges();
+    std::set<DfsCode> codes;
+    std::vector<bool> chosen(edges.size(), false);
+    std::vector<bool> vertex_in(g.VertexCount(), false);
+    for (size_t seed = 0; seed < edges.size(); ++seed) {
+      chosen[seed] = true;
+      vertex_in[edges[seed].from] = true;
+      vertex_in[edges[seed].to] = true;
+      Enumerate(g, edges, seed, &chosen, &vertex_in, 1, options.max_edges,
+                &codes);
+      chosen[seed] = false;
+      vertex_in[edges[seed].from] = false;
+      vertex_in[edges[seed].to] = false;
+    }
+    for (const DfsCode& code : codes) counts[code].push_back(gi);
+  }
+
+  PatternSet out;
+  for (auto& [code, tids] : counts) {
+    if (static_cast<int>(tids.size()) < options.min_support) continue;
+    PatternInfo info;
+    info.code = code;
+    info.support = static_cast<int>(tids.size());
+    info.tids = std::move(tids);
+    out.Upsert(std::move(info));
+  }
+  return out;
+}
+
+}  // namespace partminer

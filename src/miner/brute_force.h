@@ -1,0 +1,26 @@
+#ifndef PARTMINER_MINER_BRUTE_FORCE_H_
+#define PARTMINER_MINER_BRUTE_FORCE_H_
+
+#include <string>
+
+#include "miner/miner.h"
+
+namespace partminer {
+
+/// Reference miner: enumerates every connected edge subset of every database
+/// graph (exponential), canonicalizes each with the minimum DFS code, and
+/// counts support exactly. Exists to provide ground truth for the property
+/// tests that validate gSpan, Gaston, PartMiner and IncPartMiner; only
+/// usable on small inputs.
+class BruteForceMiner : public FrequentSubgraphMiner {
+ public:
+  BruteForceMiner() = default;
+
+  PatternSet Mine(const GraphDatabase& db, const MinerOptions& options) override;
+
+  std::string name() const override { return "BruteForce"; }
+};
+
+}  // namespace partminer
+
+#endif  // PARTMINER_MINER_BRUTE_FORCE_H_

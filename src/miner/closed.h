@@ -1,0 +1,27 @@
+#ifndef PARTMINER_MINER_CLOSED_H_
+#define PARTMINER_MINER_CLOSED_H_
+
+#include "miner/pattern_set.h"
+
+namespace partminer {
+
+/// Condensed representations of a frequent pattern set, after the paper's
+/// related work (CloseGraph [17] for closed patterns, SPIN [5] for maximal
+/// ones). Both operate on a complete PatternSet — e.g. PartMiner's output —
+/// so the partition-based pipeline gets them for free.
+
+/// Closed frequent patterns: patterns with no frequent super-pattern of the
+/// same support. Because the input set is complete and downward closed, a
+/// pattern p is non-closed iff some pattern in the set with one more edge
+/// contains p and has equal support; TID-list equality is used as a cheap
+/// certificate before the (pattern-level) subgraph-isomorphism check.
+PatternSet ClosedPatterns(const PatternSet& complete);
+
+/// Maximal frequent patterns: patterns with no frequent super-pattern at
+/// all. A pattern is non-maximal iff some (k+1)-edge pattern in the set
+/// contains it.
+PatternSet MaximalPatterns(const PatternSet& complete);
+
+}  // namespace partminer
+
+#endif  // PARTMINER_MINER_CLOSED_H_

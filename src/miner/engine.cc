@@ -1,0 +1,245 @@
+#include "miner/engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace partminer {
+namespace engine {
+
+void History::Build(const Graph& g, const Embedding& e) {
+  edges_.clear();
+  for (const Embedding* p = &e; p != nullptr; p = p->prev) {
+    edges_.push_back(p->edge);
+  }
+  std::reverse(edges_.begin(), edges_.end());
+
+  has_edge_.assign(g.EdgeCount(), false);
+  has_vertex_.assign(g.VertexCount(), false);
+  for (const EdgeEntry* edge : edges_) {
+    has_edge_[edge->eid] = true;
+    has_vertex_[edge->from] = true;
+    has_vertex_[edge->to] = true;
+  }
+}
+
+std::vector<int> BuildRightmostPathPositions(const DfsCode& code) {
+  std::vector<int> rmpath;
+  int expected_from = -1;
+  for (int i = static_cast<int>(code.size()) - 1; i >= 0; --i) {
+    const DfsEdge& e = code[i];
+    if (e.IsForward() && (rmpath.empty() || expected_from == e.to)) {
+      rmpath.push_back(i);
+      expected_from = e.from;
+    }
+  }
+  return rmpath;
+}
+
+ExtensionMap CollectRootExtensions(const GraphDatabase& db) {
+  ExtensionMap roots;
+  for (int i = 0; i < db.size(); ++i) {
+    const Graph& g = db.graph(i);
+    for (VertexId u = 0; u < g.VertexCount(); ++u) {
+      for (const EdgeEntry& e : g.adjacency(u)) {
+        const Label lu = g.vertex_label(u);
+        const Label lv = g.vertex_label(e.to);
+        if (lu > lv) continue;  // Mirror orientation is canonical.
+        const DfsEdge tuple{0, 1, lu, e.label, lv};
+        roots[tuple].push_back(Embedding{i, &e, nullptr});
+      }
+    }
+  }
+  return roots;
+}
+
+ExtensionMap CollectExtensions(const GraphDatabase& db, const DfsCode& code,
+                               const Projected& projected,
+                               bool enable_order_pruning) {
+  ExtensionMap extensions;
+  const std::vector<int> rmpath = BuildRightmostPathPositions(code);
+  PM_CHECK(!rmpath.empty());
+  const int maxtoc = code[rmpath[0]].to;  // Rightmost vertex (DFS index).
+  const Label min_label = code[0].from_label;
+
+  History history;
+  for (const Embedding& emb : projected) {
+    const Graph& g = db.graph(emb.graph_index);
+    history.Build(g, emb);
+    const VertexId rm_host = history.edge(rmpath[0])->to;
+    const Label rm_label = g.vertex_label(rm_host);
+
+    // Backward extensions: rightmost vertex -> rightmost-path vertex.
+    // Walk the path from the root downward so tuples with smaller targets
+    // come first (the map sorts anyway; this is just deterministic).
+    for (int j = static_cast<int>(rmpath.size()) - 1; j >= 1; --j) {
+      const EdgeEntry* tree_edge = history.edge(rmpath[j]);
+      for (const EdgeEntry& e : g.adjacency(rm_host)) {
+        if (history.HasEdge(e.eid)) continue;
+        if (e.to != tree_edge->from) continue;
+        if (enable_order_pruning) {
+          // A minimal code cannot close a cycle with an edge comparing
+          // smaller than the tree edge it attaches below (gSpan pruning).
+          const bool ok =
+              tree_edge->label < e.label ||
+              (tree_edge->label == e.label &&
+               g.vertex_label(tree_edge->to) <= rm_label);
+          if (!ok) continue;
+        }
+        const DfsEdge tuple{maxtoc, code[rmpath[j]].from, rm_label, e.label,
+                            code[rmpath[j]].from_label};
+        extensions[tuple].push_back(Embedding{emb.graph_index, &e, &emb});
+      }
+    }
+
+    // Pure forward extensions from the rightmost vertex.
+    for (const EdgeEntry& e : g.adjacency(rm_host)) {
+      if (history.HasVertex(e.to)) continue;
+      const Label to_label = g.vertex_label(e.to);
+      if (enable_order_pruning && to_label < min_label) continue;
+      const DfsEdge tuple{maxtoc, maxtoc + 1, rm_label, e.label, to_label};
+      extensions[tuple].push_back(Embedding{emb.graph_index, &e, &emb});
+    }
+
+    // Forward extensions from the other rightmost-path vertices.
+    for (const int pos : rmpath) {
+      const EdgeEntry* tree_edge = history.edge(pos);
+      const VertexId u = tree_edge->from;
+      for (const EdgeEntry& e : g.adjacency(u)) {
+        if (history.HasVertex(e.to)) continue;
+        const Label to_label = g.vertex_label(e.to);
+        if (enable_order_pruning) {
+          if (to_label < min_label) continue;
+          const bool ok = tree_edge->label < e.label ||
+                          (tree_edge->label == e.label &&
+                           g.vertex_label(tree_edge->to) <= to_label);
+          if (!ok) continue;
+        }
+        const DfsEdge tuple{code[pos].from, maxtoc + 1,
+                            code[pos].from_label, e.label, to_label};
+        extensions[tuple].push_back(Embedding{emb.graph_index, &e, &emb});
+      }
+    }
+  }
+  return extensions;
+}
+
+namespace {
+
+/// Recursive matcher for ProjectCode: extends the partial assignment of DFS
+/// indices to host vertices position by position, collecting the matched
+/// host edge per code entry.
+void MatchCode(const DfsCode& code, const Graph& g, size_t position,
+               std::vector<VertexId>* assignment, std::vector<bool>* used,
+               std::vector<bool>* vertex_used,
+               std::vector<const EdgeEntry*>* matched, int graph_index,
+               std::deque<Embedding>* arena, Projected* out) {
+  if (position == code.size()) {
+    // Materialize the chain in code order.
+    const Embedding* prev = nullptr;
+    for (const EdgeEntry* edge : *matched) {
+      arena->push_back(Embedding{graph_index, edge, prev});
+      prev = &arena->back();
+    }
+    out->push_back(arena->back());
+    arena->pop_back();  // out holds the head by value; keep prevs in arena.
+    return;
+  }
+  const DfsEdge& want = code[position];
+  if (want.IsForward()) {
+    const VertexId from = (*assignment)[want.from];
+    for (const EdgeEntry& e : g.adjacency(from)) {
+      if ((*used)[e.eid] || (*vertex_used)[e.to]) continue;
+      if (e.label != want.edge_label) continue;
+      if (g.vertex_label(e.to) != want.to_label) continue;
+      (*assignment)[want.to] = e.to;
+      (*used)[e.eid] = true;
+      (*vertex_used)[e.to] = true;
+      matched->push_back(&e);
+      MatchCode(code, g, position + 1, assignment, used, vertex_used, matched,
+                graph_index, arena, out);
+      matched->pop_back();
+      (*vertex_used)[e.to] = false;
+      (*used)[e.eid] = false;
+    }
+  } else {
+    const VertexId from = (*assignment)[want.from];
+    const VertexId to = (*assignment)[want.to];
+    for (const EdgeEntry& e : g.adjacency(from)) {
+      if ((*used)[e.eid] || e.to != to) continue;
+      if (e.label != want.edge_label) continue;
+      (*used)[e.eid] = true;
+      matched->push_back(&e);
+      MatchCode(code, g, position + 1, assignment, used, vertex_used, matched,
+                graph_index, arena, out);
+      matched->pop_back();
+      (*used)[e.eid] = false;
+    }
+  }
+}
+
+}  // namespace
+
+Projected ProjectCode(const DfsCode& code, const GraphDatabase& db,
+                      const std::vector<int>& graph_indices,
+                      std::deque<Embedding>* arena) {
+  Projected out;
+  if (code.empty()) return out;
+  const int pattern_vertices = code.VertexCount();
+  for (const int gi : graph_indices) {
+    const Graph& g = db.graph(gi);
+    std::vector<VertexId> assignment(pattern_vertices, -1);
+    std::vector<bool> used(g.EdgeCount(), false);
+    std::vector<bool> vertex_used(g.VertexCount(), false);
+    std::vector<const EdgeEntry*> matched;
+    // Seed position 0: every half-edge matching the first tuple.
+    const DfsEdge& first = code[0];
+    for (VertexId u = 0; u < g.VertexCount(); ++u) {
+      if (g.vertex_label(u) != first.from_label) continue;
+      for (const EdgeEntry& e : g.adjacency(u)) {
+        if (e.label != first.edge_label) continue;
+        if (g.vertex_label(e.to) != first.to_label) continue;
+        assignment[0] = u;
+        assignment[1] = e.to;
+        used[e.eid] = true;
+        vertex_used[u] = true;
+        vertex_used[e.to] = true;
+        matched.push_back(&e);
+        MatchCode(code, g, 1, &assignment, &used, &vertex_used, &matched, gi,
+                  arena, &out);
+        matched.pop_back();
+        vertex_used[u] = false;
+        vertex_used[e.to] = false;
+        used[e.eid] = false;
+      }
+    }
+  }
+  return out;
+}
+
+int SupportOf(const Projected& projected) {
+  int support = 0;
+  int last = -1;
+  for (const Embedding& e : projected) {
+    if (e.graph_index != last) {
+      ++support;
+      last = e.graph_index;
+    }
+  }
+  return support;
+}
+
+std::vector<int> TidsOf(const Projected& projected) {
+  std::vector<int> tids;
+  int last = -1;
+  for (const Embedding& e : projected) {
+    if (e.graph_index != last) {
+      tids.push_back(e.graph_index);
+      last = e.graph_index;
+    }
+  }
+  return tids;
+}
+
+}  // namespace engine
+}  // namespace partminer

@@ -1,0 +1,98 @@
+#ifndef PARTMINER_MINER_ENGINE_H_
+#define PARTMINER_MINER_ENGINE_H_
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "graph/dfs_code.h"
+#include "graph/graph.h"
+#include "miner/miner.h"
+
+namespace partminer {
+namespace engine {
+
+/// One embedding of the current DFS code into a database graph, represented
+/// as a linked chain: `edge` realizes the last code entry, `prev` the rest.
+/// Chains point into the parent recursion frame's embedding vector, which
+/// outlives all children (the classic gSpan projected-database layout).
+struct Embedding {
+  int graph_index = -1;
+  const EdgeEntry* edge = nullptr;
+  const Embedding* prev = nullptr;
+};
+
+/// The embeddings of one pattern across the database.
+using Projected = std::vector<Embedding>;
+
+/// Flattened view of one embedding: the host edges realizing each code
+/// entry, plus host-vertex/edge occupancy bitmaps used to keep extensions
+/// injective.
+class History {
+ public:
+  void Build(const Graph& g, const Embedding& e);
+
+  const EdgeEntry* edge(int code_position) const {
+    return edges_[code_position];
+  }
+  bool HasEdge(int eid) const { return has_edge_[eid]; }
+  bool HasVertex(VertexId v) const { return has_vertex_[v]; }
+
+ private:
+  std::vector<const EdgeEntry*> edges_;
+  std::vector<bool> has_edge_;
+  std::vector<bool> has_vertex_;
+};
+
+/// Positions (indices into the code) of the rightmost-path *forward* edges,
+/// deepest first: rmpath[0] is the edge discovering the rightmost vertex,
+/// rmpath.back() the root edge.
+std::vector<int> BuildRightmostPathPositions(const DfsCode& code);
+
+/// Ordering DFS-code tuples with gSpan's neighborhood order so that
+/// extension maps iterate smallest-first.
+struct DfsEdgeLess {
+  bool operator()(const DfsEdge& a, const DfsEdge& b) const {
+    return CompareDfsEdge(a, b) < 0;
+  }
+};
+
+/// Extension tuple -> embeddings of (code + tuple).
+using ExtensionMap = std::map<DfsEdge, Projected, DfsEdgeLess>;
+
+/// Groups every single-edge pattern of the database with its embeddings.
+/// Tuples with from_label > to_label are omitted (their mirror is the
+/// canonical representative).
+ExtensionMap CollectRootExtensions(const GraphDatabase& db);
+
+/// Collects all rightmost extensions of `code` over its embeddings.
+/// When `enable_order_pruning` is set, extensions that provably produce
+/// non-minimal codes are dropped early (the gSpan label-order prunings);
+/// every surviving extension must still pass IsMinimalDfsCode.
+ExtensionMap CollectExtensions(const GraphDatabase& db, const DfsCode& code,
+                               const Projected& projected,
+                               bool enable_order_pruning);
+
+/// Enumerates every embedding of `code` (a valid DFS code) into the graphs
+/// of `db` whose indices are listed (ascending) in `graph_indices`. The
+/// embedding chains are allocated in `arena`, which must outlive any use of
+/// the returned Projected and must not be resized by the caller.
+///
+/// This re-derives what gSpan's recursion carries implicitly, and is what
+/// lets the incremental merge path project a cached pattern onto just the
+/// updated graphs.
+Projected ProjectCode(const DfsCode& code, const GraphDatabase& db,
+                      const std::vector<int>& graph_indices,
+                      std::deque<Embedding>* arena);
+
+/// Support of an embedding list: the number of distinct database graphs.
+/// Embeddings are grouped by graph in database order by construction.
+int SupportOf(const Projected& projected);
+
+/// Distinct database indices of an embedding list, ascending.
+std::vector<int> TidsOf(const Projected& projected);
+
+}  // namespace engine
+}  // namespace partminer
+
+#endif  // PARTMINER_MINER_ENGINE_H_

@@ -1,0 +1,223 @@
+#include "miner/gaston.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "graph/canonical.h"
+#include "miner/engine.h"
+
+namespace partminer {
+
+namespace {
+
+enum class Phase : int { kPath = 0, kTree = 1, kCyclic = 2 };
+
+/// Phase of the pattern a code encodes. A code with a backward edge is
+/// cyclic; otherwise it encodes a free tree, which is a path iff no DFS
+/// vertex has degree above two.
+Phase PhaseOf(const DfsCode& code) {
+  std::vector<int> degree(code.VertexCount(), 0);
+  for (const DfsEdge& e : code.edges()) {
+    if (!e.IsForward()) return Phase::kCyclic;
+    ++degree[e.from];
+    ++degree[e.to];
+  }
+  for (const int d : degree) {
+    if (d > 2) return Phase::kTree;
+  }
+  return Phase::kPath;
+}
+
+/// Label sequences of a path pattern: vertex labels v[0..n] and edge labels
+/// e[0..n-1] (e[k] joins v[k] and v[k+1]), extracted by walking the pattern
+/// graph from one endpoint. Requires a path pattern.
+struct PathLabels {
+  std::vector<Label> vertex;
+  std::vector<Label> edge;
+};
+
+PathLabels ExtractPathLabels(const Graph& g) {
+  PathLabels out;
+  const int n = g.VertexCount();
+  VertexId start = -1;
+  for (VertexId v = 0; v < n; ++v) {
+    PM_CHECK_LE(g.Degree(v), 2);
+    if (g.Degree(v) == 1) start = v;
+  }
+  if (start == -1) start = 0;  // Single vertex would be degenerate.
+  PM_CHECK_GE(start, 0);
+
+  VertexId prev = -1, cur = start;
+  out.vertex.push_back(g.vertex_label(cur));
+  for (int step = 0; step + 1 < n; ++step) {
+    for (const EdgeEntry& e : g.adjacency(cur)) {
+      if (e.to == prev) continue;
+      out.edge.push_back(e.label);
+      out.vertex.push_back(g.vertex_label(e.to));
+      prev = cur;
+      cur = e.to;
+      break;
+    }
+  }
+  PM_CHECK_EQ(static_cast<int>(out.vertex.size()), n);
+  return out;
+}
+
+/// Builds the DFS code of the path rooted at position `root`, exploring the
+/// branch toward position 0 first when `toward_zero_first` is set.
+DfsCode BuildPathCode(const PathLabels& labels, int root,
+                      bool toward_zero_first) {
+  const int n = static_cast<int>(labels.vertex.size());
+  DfsCode code;
+  // Emits the branch walking path positions root+step, root+2*step, ... as
+  // forward edges. The first edge descends from DFS index 0 (the root); new
+  // vertices take DFS indices first_dfs, first_dfs+1, ...
+  auto emit_branch = [&](int step, int first_dfs) {
+    int parent_dfs = 0;
+    int dfs = first_dfs;
+    for (int p = root + step; p >= 0 && p < n; p += step) {
+      const int edge_index = step > 0 ? p - 1 : p;
+      code.Append(DfsEdge{parent_dfs, dfs, labels.vertex[p - step],
+                          labels.edge[edge_index], labels.vertex[p]});
+      parent_dfs = dfs;
+      ++dfs;
+    }
+  };
+
+  if (toward_zero_first) {
+    emit_branch(-1, 1);
+    emit_branch(+1, root + 1);  // Branch toward 0 used DFS indices 1..root.
+  } else {
+    emit_branch(+1, 1);
+    emit_branch(-1, (n - 1 - root) + 1);
+  }
+  return code;
+}
+
+}  // namespace
+
+bool IsStraightPathCode(const DfsCode& code) {
+  for (size_t k = 0; k < code.size(); ++k) {
+    const DfsEdge& e = code[k];
+    if (!e.IsForward() || e.from != static_cast<int>(k) ||
+        e.to != static_cast<int>(k) + 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsMinimalPathCode(const DfsCode& code) {
+  const Graph g = code.ToGraph();
+  const PathLabels labels = ExtractPathLabels(g);
+  const int n = static_cast<int>(labels.vertex.size());
+  // Every valid DFS code of a path: pick a root position; fully explore one
+  // branch, then the other. Mid-branch switching cannot complete (the
+  // abandoned branch becomes unreachable), so this candidate set is exactly
+  // the set of valid codes.
+  for (int root = 0; root < n; ++root) {
+    for (const bool toward_zero_first : {true, false}) {
+      if (root == 0 && toward_zero_first) continue;       // Empty branch.
+      if (root == n - 1 && !toward_zero_first) continue;  // Empty branch.
+      const DfsCode candidate = BuildPathCode(labels, root, toward_zero_first);
+      if (candidate.Compare(code) < 0) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+struct GastonContext {
+  const GraphDatabase* db;
+  const MinerOptions* options;
+  PatternSet* out;
+  GastonStats* stats;
+};
+
+bool CheckMinimal(GastonContext* ctx, const DfsCode& code, Phase phase) {
+  if (phase == Phase::kPath) {
+    ++ctx->stats->path_fast_checks;
+    return IsMinimalPathCode(code);
+  }
+  ++ctx->stats->generic_min_checks;
+  return IsMinimalDfsCode(code);
+}
+
+void GrowPhased(GastonContext* ctx, DfsCode* code,
+                const engine::Projected& projected, Phase phase) {
+  PatternInfo info;
+  info.code = *code;
+  info.support = engine::SupportOf(projected);
+  info.tids = engine::TidsOf(projected);
+  ctx->out->Upsert(std::move(info));
+  switch (phase) {
+    case Phase::kPath: ++ctx->stats->frequent_paths; break;
+    case Phase::kTree: ++ctx->stats->frequent_trees; break;
+    case Phase::kCyclic: ++ctx->stats->frequent_cyclic; break;
+  }
+
+  if (static_cast<int>(code->size()) >= ctx->options->max_edges) return;
+
+  engine::ExtensionMap extensions = engine::CollectExtensions(
+      *ctx->db, *code, projected, ctx->options->enable_order_pruning);
+
+  // Gaston's phase discipline: node refinements that keep the pattern in an
+  // earlier phase are explored before refinements that advance the phase,
+  // and the phase never regresses (a path extension of a tree is
+  // impossible). Three passes over the sorted extension map realize this
+  // order without changing the discovered set.
+  for (const Phase target :
+       {Phase::kPath, Phase::kTree, Phase::kCyclic}) {
+    if (target < phase) continue;  // Monotone: no regression possible.
+    for (const auto& [tuple, child_projected] : extensions) {
+      code->Append(tuple);
+      const Phase child_phase = PhaseOf(*code);
+      PM_CHECK_GE(static_cast<int>(child_phase), static_cast<int>(phase))
+          << "Gaston phase regressed";
+      if (engine::SupportOf(child_projected) < ctx->options->min_support) {
+        if (target == Phase::kCyclic &&  // Capture once (the last pass).
+            ctx->options->capture_frontier != nullptr) {
+          ctx->options->capture_frontier->emplace(
+              *code, engine::TidsOf(child_projected));
+        }
+      } else if (child_phase == target) {
+        if (CheckMinimal(ctx, *code, child_phase)) {
+          GrowPhased(ctx, code, child_projected, child_phase);
+        } else if (ctx->options->capture_frontier != nullptr) {
+          ctx->options->capture_frontier->emplace(
+              *code, engine::TidsOf(child_projected));
+        }
+      }
+      code->PopBack();
+    }
+  }
+}
+
+}  // namespace
+
+PatternSet GastonMiner::Mine(const GraphDatabase& db,
+                             const MinerOptions& options) {
+  stats_ = GastonStats();
+  PatternSet out;
+  GastonContext ctx{&db, &options, &out, &stats_};
+
+  // Phase 1 of Figure 7: frequent edges.
+  engine::ExtensionMap roots = engine::CollectRootExtensions(db);
+  DfsCode code;
+  for (const auto& [tuple, projected] : roots) {
+    code.Append(tuple);
+    if (engine::SupportOf(projected) < options.min_support) {
+      if (options.capture_frontier != nullptr) {
+        options.capture_frontier->emplace(code, engine::TidsOf(projected));
+      }
+    } else {
+      GrowPhased(&ctx, &code, projected, Phase::kPath);
+    }
+    code.PopBack();
+  }
+  return out;
+}
+
+}  // namespace partminer

@@ -1,0 +1,63 @@
+#include "miner/gspan.h"
+
+#include "graph/canonical.h"
+#include "miner/engine.h"
+
+namespace partminer {
+
+namespace {
+
+/// Recursive pattern growth. `code` is the (minimal) code of the current
+/// pattern, `projected` its embeddings. Reports the pattern, then recurses
+/// into every frequent minimal extension.
+void Grow(const GraphDatabase& db, const MinerOptions& options, DfsCode* code,
+          const engine::Projected& projected, PatternSet* out) {
+  PatternInfo info;
+  info.code = *code;
+  info.support = engine::SupportOf(projected);
+  info.tids = engine::TidsOf(projected);
+  out->Upsert(std::move(info));
+
+  if (static_cast<int>(code->size()) >= options.max_edges) return;
+
+  engine::ExtensionMap extensions = engine::CollectExtensions(
+      db, *code, projected, options.enable_order_pruning);
+  for (const auto& [tuple, child_projected] : extensions) {
+    code->Append(tuple);
+    if (engine::SupportOf(child_projected) < options.min_support) {
+      if (options.capture_frontier != nullptr) {
+        options.capture_frontier->emplace(*code, engine::TidsOf(child_projected));
+      }
+    } else if (IsMinimalDfsCode(*code)) {
+      Grow(db, options, code, child_projected, out);
+    } else if (options.capture_frontier != nullptr) {
+      // Frequent under a non-minimal code: not a pattern here, but its TID
+      // list must survive for the incremental lookups.
+      options.capture_frontier->emplace(*code, engine::TidsOf(child_projected));
+    }
+    code->PopBack();
+  }
+}
+
+}  // namespace
+
+PatternSet GSpanMiner::Mine(const GraphDatabase& db,
+                            const MinerOptions& options) {
+  PatternSet out;
+  engine::ExtensionMap roots = engine::CollectRootExtensions(db);
+  DfsCode code;
+  for (const auto& [tuple, projected] : roots) {
+    code.Append(tuple);
+    if (engine::SupportOf(projected) < options.min_support) {
+      if (options.capture_frontier != nullptr) {
+        options.capture_frontier->emplace(code, engine::TidsOf(projected));
+      }
+    } else {
+      Grow(db, options, &code, projected, &out);
+    }
+    code.PopBack();
+  }
+  return out;
+}
+
+}  // namespace partminer

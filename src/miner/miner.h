@@ -1,0 +1,49 @@
+#ifndef PARTMINER_MINER_MINER_H_
+#define PARTMINER_MINER_MINER_H_
+
+#include <climits>
+#include <string>
+
+#include "graph/graph.h"
+#include "miner/pattern_set.h"
+
+namespace partminer {
+
+/// Options shared by all frequent-subgraph miners.
+struct MinerOptions {
+  /// Absolute minimum support (number of database graphs). PartMiner
+  /// translates the paper's relative thresholds (e.g. "4%") into counts.
+  int min_support = 1;
+
+  /// Upper bound on pattern size in edges. INT_MAX mines everything.
+  int max_edges = INT_MAX;
+
+  /// Enables the gSpan label-order prunings that drop obviously non-minimal
+  /// extensions before the canonical check. Purely an optimization; tests
+  /// run with it both on and off and compare against a brute-force miner.
+  bool enable_order_pruning = true;
+
+  /// When non-null, receives the mining frontier: every enumerated extension
+  /// group that did not become a frequent pattern, with exact TID lists (see
+  /// FrontierMap). Consumed by the incremental merge.
+  FrontierMap* capture_frontier = nullptr;
+};
+
+/// Interface of the memory-based miners PartMiner plugs in (Section 4.2:
+/// "we can now use any existing memory-based algorithm").
+class FrequentSubgraphMiner {
+ public:
+  virtual ~FrequentSubgraphMiner() = default;
+
+  /// Mines all frequent connected subgraphs with at least one edge.
+  /// Patterns are reported by minimum DFS code with support and TID list.
+  virtual PatternSet Mine(const GraphDatabase& db,
+                          const MinerOptions& options) = 0;
+
+  /// Human-readable algorithm name for reports.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace partminer
+
+#endif  // PARTMINER_MINER_MINER_H_

@@ -1,0 +1,167 @@
+#include "partition/graph_part.h"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace partminer {
+
+namespace {
+
+/// DFSScan of Figure 5: prioritized region growing from `start` — "when
+/// scanning the unvisited neighbors of a vertex, the vertex with the
+/// highest frequency should be the next visited node" (line 21). The
+/// frontier is a priority queue over (update frequency, recency), so the
+/// scan always absorbs the hottest reachable vertex next — in particular a
+/// connected hot region is engulfed completely before any cold vertex — and
+/// degenerates to plain DFS on uniform frequencies. If the frontier empties
+/// before `limit` vertices are collected (disconnected subgraph), the scan
+/// restarts from the hottest unvisited vertex.
+std::vector<VertexId> DfsScan(const Graph& g, VertexId start, int limit,
+                              const std::vector<VertexId>& by_freq) {
+  std::vector<bool> visited(g.VertexCount(), false);
+  std::vector<int> connections(g.VertexCount(), 0);
+  std::vector<VertexId> collected;
+
+  // (ufreq, connections-to-collected, vertex): hotter first; among equally
+  // hot frontier vertices, the one most attached to the growing region —
+  // greedy region growing, which keeps the eventual cut small. The queue is
+  // lazy: stale entries (connection count since increased) are skipped.
+  using Entry = std::tuple<uint32_t, int, VertexId>;
+  std::priority_queue<Entry> frontier;
+  auto enqueue = [&](VertexId v) {
+    frontier.emplace(g.update_freq(v), connections[v], v);
+  };
+  enqueue(start);
+  size_t restart_cursor = 0;
+
+  while (static_cast<int>(collected.size()) < limit) {
+    if (frontier.empty()) {
+      // Component exhausted: restart from the hottest unvisited vertex.
+      while (restart_cursor < by_freq.size() &&
+             visited[by_freq[restart_cursor]]) {
+        ++restart_cursor;
+      }
+      if (restart_cursor == by_freq.size()) break;
+      enqueue(by_freq[restart_cursor]);
+    }
+    const auto [freq, conn, v] = frontier.top();
+    frontier.pop();
+    if (visited[v]) continue;
+    if (conn != connections[v]) continue;  // Stale entry; a fresher one exists.
+    visited[v] = true;
+    collected.push_back(v);
+    for (const EdgeEntry& e : g.adjacency(v)) {
+      if (!visited[e.to]) {
+        ++connections[e.to];
+        enqueue(e.to);
+      }
+    }
+  }
+  return collected;
+}
+
+/// Objective of equation (1) for the subset `subset`.
+double Weight(const Graph& g, const std::vector<VertexId>& subset,
+              const GraphPartOptions& options, int* cut_out) {
+  std::vector<bool> in_subset(g.VertexCount(), false);
+  for (const VertexId v : subset) in_subset[v] = true;
+
+  double freq_sum = 0;
+  for (const VertexId v : subset) freq_sum += g.update_freq(v);
+  const double avg_freq = subset.empty() ? 0 : freq_sum / subset.size();
+
+  int cut = 0;
+  for (const EdgeEntry& e : g.UndirectedEdges()) {
+    if (in_subset[e.from] != in_subset[e.to]) ++cut;
+  }
+  if (cut_out != nullptr) *cut_out = cut;
+  return options.lambda1 * avg_freq - options.lambda2 * cut;
+}
+
+}  // namespace
+
+Bisection GraphPart(const Graph& g, const GraphPartOptions& options) {
+  Bisection result;
+  result.side.assign(g.VertexCount(), 0);
+  const int n = g.VertexCount();
+  if (n < 2) return result;
+
+  // Line 1: vertices sorted by update frequency, descending.
+  std::vector<VertexId> by_freq(n);
+  for (int i = 0; i < n; ++i) by_freq[i] = i;
+  std::sort(by_freq.begin(), by_freq.end(), [&g](VertexId a, VertexId b) {
+    if (g.update_freq(a) != g.update_freq(b)) {
+      return g.update_freq(a) > g.update_freq(b);
+    }
+    return a < b;
+  });
+
+  const int half = std::max(1, n / 2);
+  double best_weight = 0;
+  std::vector<VertexId> best_subset;
+  int best_cut = 0;
+  bool have_best = false;
+
+  // Lines 4-12: try a DFSScan from each of the top-half candidate starts.
+  const int candidates = std::max(1, n / 2);
+  for (int i = 0; i < candidates; ++i) {
+    const std::vector<VertexId> subset =
+        DfsScan(g, by_freq[i], half, by_freq);
+    int cut = 0;
+    const double w = Weight(g, subset, options, &cut);
+    if (!have_best || w > best_weight) {
+      have_best = true;
+      best_weight = w;
+      best_subset = subset;
+      best_cut = cut;
+    }
+  }
+
+  result.side.assign(n, 1);
+  for (const VertexId v : best_subset) result.side[v] = 0;
+  result.cut_edges = best_cut;
+  result.weight = best_weight;
+  return result;
+}
+
+std::pair<Graph, Graph> SplitWithConnectiveEdges(
+    const Graph& g, const std::vector<int>& side) {
+  PM_CHECK_EQ(static_cast<int>(side.size()), g.VertexCount());
+  Graph parts[2];
+  std::vector<VertexId> remap[2];
+  remap[0].assign(g.VertexCount(), -1);
+  remap[1].assign(g.VertexCount(), -1);
+
+  auto ensure_vertex = [&](int part, VertexId v) -> VertexId {
+    if (remap[part][v] == -1) {
+      remap[part][v] = parts[part].AddVertex(g.vertex_label(v));
+      parts[part].set_update_freq(remap[part][v], g.update_freq(v));
+    }
+    return remap[part][v];
+  };
+
+  for (const EdgeEntry& e : g.UndirectedEdges()) {
+    const bool cut = side[e.from] != side[e.to];
+    for (int part = 0; part < 2; ++part) {
+      if (cut || side[e.from] == part) {
+        parts[part].AddEdge(ensure_vertex(part, e.from),
+                            ensure_vertex(part, e.to), e.label);
+      }
+    }
+  }
+  return {std::move(parts[0]), std::move(parts[1])};
+}
+
+int CountCutEdges(const Graph& g, const std::vector<int>& side) {
+  int cut = 0;
+  for (const EdgeEntry& e : g.UndirectedEdges()) {
+    if (side[e.from] != side[e.to]) ++cut;
+  }
+  return cut;
+}
+
+}  // namespace partminer

@@ -1,0 +1,49 @@
+#ifndef PARTMINER_PARTITION_GRAPH_PART_H_
+#define PARTMINER_PARTITION_GRAPH_PART_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace partminer {
+
+/// Weights of the bi-partitioning objective of Section 4.1, equation (1):
+///   w(V1) = lambda1 * avg-update-frequency(V1) - lambda2 * |E(V1, V2)|.
+/// The paper's three criteria are (1,0) "isolate updated vertices",
+/// (0,1) "minimize connectivity", and (1,1) both.
+struct GraphPartOptions {
+  double lambda1 = 1.0;
+  double lambda2 = 1.0;
+};
+
+/// Result of bisecting one graph.
+struct Bisection {
+  /// Per vertex: 0 for the selected subset V*, 1 for the rest.
+  std::vector<int> side;
+  /// Number of connective edges |E(V1, V2)|.
+  int cut_edges = 0;
+  /// Achieved objective w(V*).
+  double weight = 0;
+};
+
+/// The GraphPart algorithm of Figure 5: sorts vertices by update frequency,
+/// runs DFSScan from each of the top-half candidates to grow a half-sized
+/// subset preferring high-frequency neighbors, scores each subset with the
+/// weight function, and keeps the best. Graphs with fewer than two vertices
+/// get a trivial bisection (everything on side 0).
+Bisection GraphPart(const Graph& g, const GraphPartOptions& options);
+
+/// Materializes the two subgraphs of a bisection, *including the connective
+/// edges in both* (Section 4.1: "subgraphs should include the connective
+/// edges between the subgraphs so that we can recover the original graph").
+/// Isolated vertices are dropped; the graphs are compact.
+std::pair<Graph, Graph> SplitWithConnectiveEdges(const Graph& g,
+                                                 const std::vector<int>& side);
+
+/// Counts edges whose endpoints lie on different sides.
+int CountCutEdges(const Graph& g, const std::vector<int>& side);
+
+}  // namespace partminer
+
+#endif  // PARTMINER_PARTITION_GRAPH_PART_H_

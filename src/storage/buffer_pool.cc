@@ -1,0 +1,109 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace partminer {
+
+BufferPool::BufferPool(DiskManager* disk, int frames) : disk_(disk) {
+  PM_CHECK_GT(frames, 0);
+  frames_.resize(frames);
+  free_.reserve(frames);
+  for (int i = frames - 1; i >= 0; --i) free_.push_back(i);
+}
+
+int BufferPool::GetVictim() {
+  if (!free_.empty()) {
+    const int frame = free_.back();
+    free_.pop_back();
+    frames_[frame].data.resize(kPageSize);
+    return frame;
+  }
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    Frame& f = frames_[*it];
+    if (f.pin_count == 0) {
+      const int frame = *it;
+      lru_.erase(it);
+      if (f.dirty) {
+        PM_CHECK(disk_->WritePage(f.page_id, f.data.data()).ok());
+        f.dirty = false;
+      }
+      table_.erase(f.page_id);
+      ++disk_->mutable_stats()->evictions;
+      return frame;
+    }
+  }
+  return -1;
+}
+
+char* BufferPool::Fetch(PageId id) {
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    Frame& f = frames_[it->second];
+    if (f.pin_count == 0) lru_.remove(it->second);
+    ++f.pin_count;
+    ++disk_->mutable_stats()->pool_hits;
+    return f.data.data();
+  }
+  ++disk_->mutable_stats()->pool_misses;
+  const int frame = GetVictim();
+  if (frame < 0) return nullptr;
+  Frame& f = frames_[frame];
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  PM_CHECK(disk_->ReadPage(id, f.data.data()).ok());
+  table_[id] = frame;
+  return f.data.data();
+}
+
+char* BufferPool::Allocate(PageId* id) {
+  *id = disk_->Allocate();
+  const int frame = GetVictim();
+  if (frame < 0) return nullptr;
+  Frame& f = frames_[frame];
+  f.page_id = *id;
+  f.pin_count = 1;
+  f.dirty = true;  // New pages must reach disk even if never re-written.
+  std::memset(f.data.data(), 0, kPageSize);
+  table_[*id] = frame;
+  return f.data.data();
+}
+
+void BufferPool::Unpin(PageId id, bool dirty) {
+  auto it = table_.find(id);
+  PM_CHECK(it != table_.end()) << "unpin of uncached page " << id;
+  Frame& f = frames_[it->second];
+  PM_CHECK_GT(f.pin_count, 0);
+  f.dirty = f.dirty || dirty;
+  if (--f.pin_count == 0) lru_.push_back(it->second);
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [page_id, frame] : table_) {
+    Frame& f = frames_[frame];
+    if (f.dirty) {
+      PARTMINER_RETURN_IF_ERROR(disk_->WritePage(page_id, f.data.data()));
+      f.dirty = false;
+    }
+  }
+  return Status::Ok();
+}
+
+void BufferPool::Clear() {
+  for (const auto& [page_id, frame] : table_) {
+    PM_CHECK_EQ(frames_[frame].pin_count, 0)
+        << "Clear with pinned page " << page_id;
+  }
+  table_.clear();
+  lru_.clear();
+  free_.clear();
+  for (int i = static_cast<int>(frames_.size()) - 1; i >= 0; --i) {
+    frames_[i] = Frame();
+    free_.push_back(i);
+  }
+}
+
+}  // namespace partminer

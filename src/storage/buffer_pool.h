@@ -1,0 +1,67 @@
+#ifndef PARTMINER_STORAGE_BUFFER_POOL_H_
+#define PARTMINER_STORAGE_BUFFER_POOL_H_
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+
+namespace partminer {
+
+/// Fixed-capacity page cache with LRU replacement over a DiskManager. This
+/// is what makes the ADI-style baseline "disk-based": its index lives in
+/// pages, and scans that exceed the pool capacity pay real reads.
+///
+/// Pages are pinned while a caller holds them; unpinned pages are eligible
+/// for eviction. Dirty pages are written back on eviction and on FlushAll.
+class BufferPool {
+ public:
+  /// `frames` is the pool capacity in pages.
+  BufferPool(DiskManager* disk, int frames);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins page `id` and returns its frame data (kPageSize bytes), or nullptr
+  /// when every frame is pinned. Call Unpin when done.
+  char* Fetch(PageId id);
+
+  /// Allocates a new page, pinned and zeroed. Sets `*id`.
+  char* Allocate(PageId* id);
+
+  /// Releases one pin; `dirty` marks the page for write-back.
+  void Unpin(PageId id, bool dirty);
+
+  /// Writes back every dirty page (pages stay cached).
+  Status FlushAll();
+
+  /// Drops the cache (pages must be unpinned); used around index rebuilds.
+  void Clear();
+
+  int frames() const { return static_cast<int>(frames_.size()); }
+  const IoStats& stats() const { return disk_->stats(); }
+
+ private:
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    std::vector<char> data;
+  };
+
+  /// Returns a free frame index, evicting the LRU unpinned page if needed;
+  /// -1 when everything is pinned.
+  int GetVictim();
+
+  DiskManager* disk_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, int> table_;  // page id -> frame index.
+  std::list<int> lru_;                     // Unpinned frames, LRU first.
+  std::vector<int> free_;                  // Never-used frames.
+};
+
+}  // namespace partminer
+
+#endif  // PARTMINER_STORAGE_BUFFER_POOL_H_

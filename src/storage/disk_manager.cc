@@ -1,0 +1,90 @@
+#include "storage/disk_manager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace partminer {
+
+DiskManager::~DiskManager() { Close(); }
+
+Status DiskManager::Open(const std::string& path) {
+  Close();
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  path_ = path;
+  page_count_ = 0;
+  return Status::Ok();
+}
+
+void DiskManager::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    ::unlink(path_.c_str());
+    fd_ = -1;
+    path_.clear();
+    page_count_ = 0;
+  }
+}
+
+PageId DiskManager::Allocate() {
+  PM_CHECK(is_open());
+  return page_count_++;
+}
+
+Status DiskManager::ReadPage(PageId id, char* out) {
+  PM_CHECK(is_open());
+  PM_CHECK_GE(id, 0);
+  PM_CHECK_LT(id, page_count_);
+  const ssize_t n =
+      ::pread(fd_, out, kPageSize, static_cast<off_t>(id) * kPageSize);
+  if (n < 0) {
+    return Status::IoError(std::string("pread: ") + std::strerror(errno));
+  }
+  // Short read of a never-written page: zero-fill, matching Allocate().
+  if (n < kPageSize) std::memset(out + n, 0, kPageSize - n);
+  ++stats_.page_reads;
+  SimulateLatency();
+  return Status::Ok();
+}
+
+Status DiskManager::WritePage(PageId id, const char* data) {
+  PM_CHECK(is_open());
+  PM_CHECK_GE(id, 0);
+  PM_CHECK_LT(id, page_count_);
+  const ssize_t n =
+      ::pwrite(fd_, data, kPageSize, static_cast<off_t>(id) * kPageSize);
+  if (n != kPageSize) {
+    return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
+  }
+  ++stats_.page_writes;
+  SimulateLatency();
+  return Status::Ok();
+}
+
+void DiskManager::SimulateLatency() const {
+  if (simulated_latency_us_ <= 0) return;
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::microseconds(simulated_latency_us_);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+Status DiskManager::Reset() {
+  PM_CHECK(is_open());
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IoError(std::string("ftruncate: ") + std::strerror(errno));
+  }
+  page_count_ = 0;
+  return Status::Ok();
+}
+
+}  // namespace partminer

@@ -1,0 +1,28 @@
+#ifndef PARTMINER_STORAGE_IO_STATS_H_
+#define PARTMINER_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+
+namespace partminer {
+
+/// I/O counters for the paged storage layer. The disk-based baseline's cost
+/// profile (index build, rebuild on update, page churn during scans) is
+/// reported through these.
+struct IoStats {
+  int64_t page_reads = 0;    // Pages read from the backing file.
+  int64_t page_writes = 0;   // Pages written to the backing file.
+  int64_t pool_hits = 0;     // Fetches served from the buffer pool.
+  int64_t pool_misses = 0;   // Fetches that had to hit the disk manager.
+  int64_t evictions = 0;     // Frames reclaimed by the LRU policy.
+
+  void Reset() { *this = IoStats(); }
+
+  double HitRate() const {
+    const int64_t total = pool_hits + pool_misses;
+    return total == 0 ? 0.0 : static_cast<double>(pool_hits) / total;
+  }
+};
+
+}  // namespace partminer
+
+#endif  // PARTMINER_STORAGE_IO_STATS_H_

@@ -1,0 +1,65 @@
+#include "miner/apriori.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "miner/gspan.h"
+#include "tests/test_util.h"
+
+namespace partminer {
+namespace {
+
+TEST(AprioriMinerTest, MatchesGSpanOnRandomDatabases) {
+  Rng rng(2718);
+  for (int trial = 0; trial < 6; ++trial) {
+    const GraphDatabase db = testutil::RandomDatabase(&rng, 10, 7, 3, 3, 2);
+    for (const int minsup : {2, 3}) {
+      MinerOptions options;
+      options.min_support = minsup;
+      GSpanMiner gspan;
+      AprioriMiner apriori;
+      const PatternSet expected = gspan.Mine(db, options);
+      const PatternSet actual = apriori.Mine(db, options);
+      EXPECT_EQ(expected.SortedCodeStrings(), actual.SortedCodeStrings())
+          << "trial " << trial << " minsup " << minsup;
+      for (const PatternInfo& p : expected.patterns()) {
+        const PatternInfo* q = actual.Find(p.code);
+        ASSERT_NE(q, nullptr);
+        EXPECT_EQ(p.support, q->support) << p.code.ToString();
+        EXPECT_EQ(p.tids, q->tids) << p.code.ToString();
+      }
+    }
+  }
+}
+
+TEST(AprioriMinerTest, StatsShowGenerateAndCountProfile) {
+  Rng rng(12);
+  const GraphDatabase db = testutil::RandomDatabase(&rng, 12, 8, 3, 3, 2);
+  MinerOptions options;
+  options.min_support = 3;
+  AprioriMiner miner;
+  const PatternSet patterns = miner.Mine(db, options);
+  EXPECT_EQ(miner.stats().frequent_found, patterns.size());
+  // The Apriori signature: far more candidates counted than kept.
+  EXPECT_GT(miner.stats().candidates_counted, patterns.size());
+  EXPECT_GE(miner.stats().candidates_generated,
+            miner.stats().candidates_counted);
+}
+
+TEST(AprioriMinerTest, MaxEdgesBoundsLevels) {
+  Rng rng(13);
+  const GraphDatabase db = testutil::RandomDatabase(&rng, 8, 7, 3, 2, 2);
+  MinerOptions options;
+  options.min_support = 2;
+  options.max_edges = 2;
+  AprioriMiner miner;
+  const PatternSet patterns = miner.Mine(db, options);
+  EXPECT_LE(patterns.MaxEdgeCount(), 2);
+
+  GSpanMiner gspan;
+  const PatternSet expected = gspan.Mine(db, options);
+  EXPECT_EQ(expected.SortedCodeStrings(), patterns.SortedCodeStrings());
+}
+
+}  // namespace
+}  // namespace partminer

@@ -1,0 +1,143 @@
+#include "graph/canonical.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/dfs_code.h"
+#include "graph/graph.h"
+#include "tests/test_util.h"
+
+namespace partminer {
+namespace {
+
+TEST(CanonicalTest, SingleEdgeCanonicalOrientation) {
+  Graph g;
+  g.AddVertex(3);
+  g.AddVertex(1);
+  g.AddEdge(0, 1, 7);
+  const DfsCode code = MinimumDfsCode(g);
+  ASSERT_EQ(code.size(), 1u);
+  // The smaller vertex label becomes DFS index 0.
+  EXPECT_EQ(code[0].from_label, 1);
+  EXPECT_EQ(code[0].edge_label, 7);
+  EXPECT_EQ(code[0].to_label, 3);
+}
+
+TEST(CanonicalTest, PaperFigure1MinimumCode) {
+  // Figure 1(b) of the paper: code(G, T1) is the minimum DFS code of G.
+  const Graph g = testutil::PaperFigure1Graph();
+  const DfsCode code = MinimumDfsCode(g);
+  ASSERT_EQ(code.size(), 4u);
+  EXPECT_EQ(code[0], (DfsEdge{0, 1, 0, 0, 0}));  // (v0,v1,0,a,0)
+  EXPECT_EQ(code[1], (DfsEdge{1, 2, 0, 0, 1}));  // (v1,v2,0,a,1)
+  EXPECT_EQ(code[2], (DfsEdge{1, 3, 0, 2, 2}));  // (v1,v3,0,c,2)
+  EXPECT_EQ(code[3], (DfsEdge{3, 0, 2, 1, 0}));  // (v3,v0,2,b,0)
+}
+
+TEST(CanonicalTest, PaperFigure1NonMinimalCodesRejected) {
+  // Figure 1(c): code(G, T2) = (0,1,0,a,0)(1,2,0,b,2)(2,0,2,c,0)(0,3,0,a,1).
+  DfsCode t2;
+  t2.Append({0, 1, 0, 0, 0});
+  t2.Append({1, 2, 0, 1, 2});
+  t2.Append({2, 0, 2, 2, 0});
+  t2.Append({0, 3, 0, 0, 1});
+  EXPECT_FALSE(IsMinimalDfsCode(t2));
+
+  // Figure 1(d): code(G, T3) = (0,1,0,a,0)(1,2,0,c,2)(2,0,2,b,0)(0,3,0,a,1).
+  DfsCode t3;
+  t3.Append({0, 1, 0, 0, 0});
+  t3.Append({1, 2, 0, 2, 2});
+  t3.Append({2, 0, 2, 1, 0});
+  t3.Append({0, 3, 0, 0, 1});
+  EXPECT_FALSE(IsMinimalDfsCode(t3));
+}
+
+TEST(CanonicalTest, MinimumCodeIsMinimal) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Graph g = testutil::RandomConnectedGraph(&rng, 6, 3, 3, 2);
+    const DfsCode code = MinimumDfsCode(g);
+    EXPECT_TRUE(IsMinimalDfsCode(code)) << code.ToString();
+  }
+}
+
+TEST(CanonicalTest, GreedyMatchesExhaustive) {
+  Rng rng(7);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Graph g = testutil::RandomConnectedGraph(&rng, 5, 3, 2, 2);
+    const DfsCode greedy = MinimumDfsCode(g);
+    const DfsCode exhaustive = MinimumDfsCodeExhaustive(g);
+    EXPECT_EQ(greedy, exhaustive)
+        << "greedy=" << greedy.ToString()
+        << " exhaustive=" << exhaustive.ToString() << "\n"
+        << g.DebugString();
+  }
+}
+
+TEST(CanonicalTest, InvariantUnderVertexPermutation) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Graph g = testutil::RandomConnectedGraph(&rng, 7, 4, 3, 2);
+    const Graph h = testutil::Permuted(&rng, g);
+    EXPECT_EQ(MinimumDfsCode(g), MinimumDfsCode(h));
+  }
+}
+
+TEST(CanonicalTest, DistinguishesLabelings) {
+  // Two triangles differing in one edge label must get different codes.
+  Graph a, b;
+  for (Graph* g : {&a, &b}) {
+    g->AddVertex(0);
+    g->AddVertex(0);
+    g->AddVertex(0);
+    g->AddEdge(0, 1, 0);
+    g->AddEdge(1, 2, 0);
+  }
+  a.AddEdge(2, 0, 0);
+  b.AddEdge(2, 0, 1);
+  EXPECT_NE(MinimumDfsCode(a), MinimumDfsCode(b));
+  EXPECT_FALSE(AreIsomorphic(a, b));
+}
+
+TEST(CanonicalTest, RoundTripThroughToGraph) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Graph g = testutil::RandomConnectedGraph(&rng, 6, 2, 4, 3);
+    const DfsCode code = MinimumDfsCode(g);
+    EXPECT_EQ(MinimumDfsCode(code.ToGraph()), code);
+  }
+}
+
+TEST(CanonicalTest, IsomorphicIffSameCode) {
+  Rng rng(5);
+  // Random pairs: permuted copies must match, independently sampled graphs
+  // must match exactly when codes match.
+  for (int trial = 0; trial < 30; ++trial) {
+    const Graph g = testutil::RandomConnectedGraph(&rng, 5, 2, 2, 1);
+    const Graph h = testutil::RandomConnectedGraph(&rng, 5, 2, 2, 1);
+    const bool same_code =
+        g.EdgeCount() == h.EdgeCount() && MinimumDfsCode(g) == MinimumDfsCode(h);
+    EXPECT_EQ(AreIsomorphic(g, h), same_code);
+    EXPECT_TRUE(AreIsomorphic(g, testutil::Permuted(&rng, g)));
+  }
+}
+
+TEST(CanonicalTest, AutomorphicTriangleIsHandled) {
+  // Fully symmetric triangle: many tied embeddings must not confuse the
+  // greedy construction.
+  Graph g;
+  g.AddVertex(1);
+  g.AddVertex(1);
+  g.AddVertex(1);
+  g.AddEdge(0, 1, 2);
+  g.AddEdge(1, 2, 2);
+  g.AddEdge(2, 0, 2);
+  const DfsCode code = MinimumDfsCode(g);
+  ASSERT_EQ(code.size(), 3u);
+  EXPECT_EQ(code[0], (DfsEdge{0, 1, 1, 2, 1}));
+  EXPECT_EQ(code[1], (DfsEdge{1, 2, 1, 2, 1}));
+  EXPECT_EQ(code[2], (DfsEdge{2, 0, 1, 2, 1}));
+}
+
+}  // namespace
+}  // namespace partminer

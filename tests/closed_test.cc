@@ -1,0 +1,115 @@
+#include "miner/closed.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/isomorphism.h"
+#include "miner/gspan.h"
+#include "tests/test_util.h"
+
+namespace partminer {
+namespace {
+
+/// Definitional reference: p is closed iff no pattern in `complete` with
+/// strictly more edges contains p with equal support; maximal iff no such
+/// super-pattern exists at all.
+bool IsClosedRef(const PatternInfo& p, const PatternSet& complete) {
+  const Graph pg = p.code.ToGraph();
+  for (const PatternInfo& q : complete.patterns()) {
+    if (q.code.size() <= p.code.size()) continue;
+    if (q.support == p.support && ContainsSubgraph(q.code.ToGraph(), pg)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsMaximalRef(const PatternInfo& p, const PatternSet& complete) {
+  const Graph pg = p.code.ToGraph();
+  for (const PatternInfo& q : complete.patterns()) {
+    if (q.code.size() <= p.code.size()) continue;
+    if (ContainsSubgraph(q.code.ToGraph(), pg)) return false;
+  }
+  return true;
+}
+
+TEST(ClosedPatternsTest, MatchesDefinitionOnRandomDatabases) {
+  Rng rng(77);
+  for (int trial = 0; trial < 4; ++trial) {
+    const GraphDatabase db = testutil::RandomDatabase(&rng, 10, 7, 3, 3, 2);
+    GSpanMiner miner;
+    MinerOptions options;
+    options.min_support = 3;
+    const PatternSet complete = miner.Mine(db, options);
+    const PatternSet closed = ClosedPatterns(complete);
+    const PatternSet maximal = MaximalPatterns(complete);
+
+    for (const PatternInfo& p : complete.patterns()) {
+      EXPECT_EQ(closed.Contains(p.code), IsClosedRef(p, complete))
+          << "closed " << p.code.ToString();
+      EXPECT_EQ(maximal.Contains(p.code), IsMaximalRef(p, complete))
+          << "maximal " << p.code.ToString();
+    }
+    // Maximal ⊆ closed ⊆ complete.
+    EXPECT_LE(maximal.size(), closed.size());
+    EXPECT_LE(closed.size(), complete.size());
+    for (const PatternInfo& p : maximal.patterns()) {
+      EXPECT_TRUE(closed.Contains(p.code));
+    }
+  }
+}
+
+TEST(ClosedPatternsTest, ChainCollapsesToLongestPattern) {
+  // Every graph is the same path a-b-c: all subpatterns share support, so
+  // only the full path is closed (and maximal).
+  GraphDatabase db;
+  for (int i = 0; i < 4; ++i) {
+    Graph g;
+    g.AddVertex(0);
+    g.AddVertex(1);
+    g.AddVertex(2);
+    g.AddEdge(0, 1, 0);
+    g.AddEdge(1, 2, 0);
+    db.Add(g);
+  }
+  GSpanMiner miner;
+  MinerOptions options;
+  options.min_support = 4;
+  const PatternSet complete = miner.Mine(db, options);
+  EXPECT_EQ(complete.size(), 3);  // Two edges + the path.
+  const PatternSet closed = ClosedPatterns(complete);
+  ASSERT_EQ(closed.size(), 1);
+  EXPECT_EQ(closed.patterns()[0].code.size(), 2u);
+  EXPECT_EQ(MaximalPatterns(complete).size(), 1);
+}
+
+TEST(ClosedPatternsTest, SupportDropKeepsSubpatternClosed) {
+  // Edge (0)-(1) appears in 3 graphs; the path 0-1-2 only in 2: the edge is
+  // closed (its super has lower support) but not maximal.
+  GraphDatabase db;
+  for (int i = 0; i < 3; ++i) {
+    Graph g;
+    g.AddVertex(0);
+    g.AddVertex(1);
+    g.AddEdge(0, 1, 0);
+    if (i < 2) {
+      g.AddVertex(2);
+      g.AddEdge(1, 2, 0);
+    }
+    db.Add(g);
+  }
+  GSpanMiner miner;
+  MinerOptions options;
+  options.min_support = 2;
+  const PatternSet complete = miner.Mine(db, options);
+  const PatternSet closed = ClosedPatterns(complete);
+  const PatternSet maximal = MaximalPatterns(complete);
+
+  DfsCode edge01;
+  edge01.Append({0, 1, 0, 0, 1});
+  EXPECT_TRUE(closed.Contains(edge01));
+  EXPECT_FALSE(maximal.Contains(edge01));
+}
+
+}  // namespace
+}  // namespace partminer

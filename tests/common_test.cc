@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "common/setword.h"
+#include "common/status.h"
+#include "common/timing.h"
+
+namespace partminer {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  const Status s = Status::IoError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kIoError);
+  EXPECT_EQ(s.message(), "disk on fire");
+  EXPECT_EQ(s.ToString(), "IoError: disk on fire");
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto fails = []() -> Status { return Status::NotFound("nope"); };
+  auto wrapper = [&]() -> Status {
+    PARTMINER_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  EXPECT_EQ(wrapper().code(), Status::Code::kNotFound);
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  bool differs = false;
+  Rng a2(7);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.Next() != c.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(3);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // All residues hit over 1000 draws.
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(4);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_GT(hits, 2600);
+  EXPECT_LT(hits, 3400);
+}
+
+TEST(RngTest, PoissonLikeMeanIsClose) {
+  Rng rng(6);
+  double total = 0;
+  for (int i = 0; i < 5000; ++i) total += rng.PoissonLike(5.0, 1);
+  const double mean = total / 5000;
+  EXPECT_GT(mean, 4.0);
+  EXPECT_LT(mean, 6.0);
+}
+
+TEST(SetWordTest, SetTestClearCount) {
+  SetWord w;
+  EXPECT_TRUE(w.Empty());
+  w.Set(0);
+  w.Set(5);
+  w.Set(63);
+  EXPECT_TRUE(w.Test(0));
+  EXPECT_TRUE(w.Test(5));
+  EXPECT_TRUE(w.Test(63));
+  EXPECT_FALSE(w.Test(1));
+  EXPECT_EQ(w.Count(), 3);
+  w.Clear(5);
+  EXPECT_FALSE(w.Test(5));
+  EXPECT_EQ(w.Count(), 2);
+}
+
+TEST(SetWordTest, AllAndUnion) {
+  const SetWord all4 = SetWord::All(4);
+  EXPECT_EQ(all4.Count(), 4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(all4.Test(i));
+  EXPECT_FALSE(all4.Test(4));
+
+  SetWord a, b;
+  a.Set(1);
+  b.Set(2);
+  a |= b;
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_TRUE(a.Test(2));
+  EXPECT_EQ(SetWord::All(64).Count(), 64);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  // Busy-wait ~2ms.
+  const auto start = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - start <
+         std::chrono::milliseconds(2)) {
+  }
+  EXPECT_GE(watch.ElapsedMillis(), 1.5);
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedMillis(), 1.5);
+}
+
+}  // namespace
+}  // namespace partminer

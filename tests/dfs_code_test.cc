@@ -1,0 +1,96 @@
+#include "graph/dfs_code.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+
+namespace partminer {
+namespace {
+
+TEST(DfsEdgeTest, ForwardDetection) {
+  EXPECT_TRUE((DfsEdge{0, 1, 0, 0, 0}).IsForward());
+  EXPECT_FALSE((DfsEdge{3, 0, 0, 0, 0}).IsForward());
+}
+
+TEST(DfsEdgeTest, ForwardForwardOrder) {
+  // Same discovered vertex: the deeper source is smaller.
+  EXPECT_LT(CompareDfsEdge({2, 3, 0, 0, 0}, {1, 3, 0, 0, 0}), 0);
+  // Earlier discovered vertex is smaller.
+  EXPECT_LT(CompareDfsEdge({0, 2, 9, 9, 9}, {2, 3, 0, 0, 0}), 0);
+}
+
+TEST(DfsEdgeTest, BackwardBackwardOrder) {
+  EXPECT_LT(CompareDfsEdge({2, 0, 0, 0, 0}, {3, 1, 0, 0, 0}), 0);
+  EXPECT_LT(CompareDfsEdge({3, 0, 9, 9, 9}, {3, 1, 0, 0, 0}), 0);
+}
+
+TEST(DfsEdgeTest, BackwardBeforeForwardFromSameVertex) {
+  // Backward (i1, j1) precedes forward (i2, j2) iff i1 < j2.
+  EXPECT_LT(CompareDfsEdge({3, 0, 9, 9, 9}, {3, 4, 0, 0, 0}), 0);
+  EXPECT_GT(CompareDfsEdge({3, 0, 0, 0, 0}, {1, 2, 9, 9, 9}), 0);
+}
+
+TEST(DfsEdgeTest, EqualPositionsCompareLabels) {
+  EXPECT_LT(CompareDfsEdge({0, 1, 0, 0, 0}, {0, 1, 0, 0, 1}), 0);
+  EXPECT_LT(CompareDfsEdge({0, 1, 0, 0, 5}, {0, 1, 0, 1, 0}), 0);
+  EXPECT_LT(CompareDfsEdge({0, 1, 0, 5, 5}, {0, 1, 1, 0, 0}), 0);
+  EXPECT_EQ(CompareDfsEdge({0, 1, 1, 2, 3}, {0, 1, 1, 2, 3}), 0);
+}
+
+TEST(DfsCodeTest, VertexCountAndRightmostPath) {
+  DfsCode code;
+  code.Append({0, 1, 0, 0, 0});
+  code.Append({1, 2, 0, 0, 1});
+  code.Append({1, 3, 0, 2, 2});
+  code.Append({3, 0, 2, 1, 0});
+  EXPECT_EQ(code.VertexCount(), 4);
+  // Rightmost path: root 0 -> 1 -> 3 (vertex 2 was left earlier).
+  const std::vector<int> path = code.RightmostPath();
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], 0);
+  EXPECT_EQ(path[1], 1);
+  EXPECT_EQ(path[2], 3);
+}
+
+TEST(DfsCodeTest, ToGraphRoundTrip) {
+  DfsCode code;
+  code.Append({0, 1, 5, 7, 6});
+  code.Append({1, 2, 6, 8, 5});
+  code.Append({2, 0, 5, 9, 5});
+  const Graph g = code.ToGraph();
+  EXPECT_EQ(g.VertexCount(), 3);
+  EXPECT_EQ(g.EdgeCount(), 3);
+  EXPECT_EQ(g.vertex_label(0), 5);
+  EXPECT_EQ(g.vertex_label(1), 6);
+  EXPECT_EQ(g.vertex_label(2), 5);
+  EXPECT_EQ(g.EdgeLabelBetween(0, 1), 7);
+  EXPECT_EQ(g.EdgeLabelBetween(1, 2), 8);
+  EXPECT_EQ(g.EdgeLabelBetween(2, 0), 9);
+}
+
+TEST(DfsCodeTest, LexicographicCompareAndPrefix) {
+  DfsCode a, b;
+  a.Append({0, 1, 0, 0, 0});
+  b.Append({0, 1, 0, 0, 0});
+  b.Append({1, 2, 0, 0, 0});
+  EXPECT_LT(a.Compare(b), 0);  // Prefix is smaller.
+  EXPECT_GT(b.Compare(a), 0);
+  EXPECT_EQ(a.Compare(a), 0);
+}
+
+TEST(DfsCodeTest, HashDiffersForDifferentCodes) {
+  DfsCode a, b;
+  a.Append({0, 1, 0, 0, 1});
+  b.Append({0, 1, 0, 1, 0});
+  EXPECT_NE(a.Hash(), b.Hash());
+  EXPECT_EQ(a.Hash(), a.Hash());
+}
+
+TEST(DfsCodeTest, ToStringRendersTuples) {
+  DfsCode a;
+  a.Append({0, 1, 2, 3, 4});
+  EXPECT_EQ(a.ToString(), "(0,1,2,3,4)");
+}
+
+}  // namespace
+}  // namespace partminer

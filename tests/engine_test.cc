@@ -1,0 +1,122 @@
+#include "miner/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/canonical.h"
+#include "tests/test_util.h"
+
+namespace partminer {
+namespace {
+
+TEST(EngineTest, RightmostPathPositions) {
+  // Code: (0,1)(1,2)(2,0)(1,3) — rightmost path edges are positions 0
+  // ((0,1)) and 3 ((1,3)); position 1's target left the path.
+  DfsCode code;
+  code.Append({0, 1, 0, 0, 0});
+  code.Append({1, 2, 0, 0, 0});
+  code.Append({2, 0, 0, 0, 0});
+  code.Append({1, 3, 0, 0, 0});
+  const std::vector<int> rmpath = engine::BuildRightmostPathPositions(code);
+  ASSERT_EQ(rmpath.size(), 2u);
+  EXPECT_EQ(rmpath[0], 3);  // Deepest first.
+  EXPECT_EQ(rmpath[1], 0);
+}
+
+TEST(EngineTest, RootExtensionsCanonicalOrientation) {
+  GraphDatabase db;
+  Graph g;
+  g.AddVertex(2);
+  g.AddVertex(1);
+  g.AddEdge(0, 1, 5);
+  db.Add(g);
+  engine::ExtensionMap roots = engine::CollectRootExtensions(db);
+  ASSERT_EQ(roots.size(), 1u);
+  const DfsEdge& tuple = roots.begin()->first;
+  EXPECT_EQ(tuple.from_label, 1);  // Smaller label first.
+  EXPECT_EQ(tuple.to_label, 2);
+  EXPECT_EQ(roots.begin()->second.size(), 1u);
+}
+
+TEST(EngineTest, RootExtensionsSymmetricLabelsBothOrientations) {
+  GraphDatabase db;
+  Graph g;
+  g.AddVertex(3);
+  g.AddVertex(3);
+  g.AddEdge(0, 1, 0);
+  db.Add(g);
+  engine::ExtensionMap roots = engine::CollectRootExtensions(db);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots.begin()->second.size(), 2u);  // Both half-edges.
+}
+
+TEST(EngineTest, SupportAndTidsDedupPerGraph) {
+  engine::Projected projected;
+  EdgeEntry dummy{0, 1, 0, 0};
+  projected.push_back({0, &dummy, nullptr});
+  projected.push_back({0, &dummy, nullptr});
+  projected.push_back({2, &dummy, nullptr});
+  EXPECT_EQ(engine::SupportOf(projected), 2);
+  EXPECT_EQ(engine::TidsOf(projected), (std::vector<int>{0, 2}));
+}
+
+TEST(EngineTest, ExtensionsMatchFreshProjection) {
+  // Property: extending a pattern via CollectExtensions on its ProjectCode
+  // embeddings gives the same support as projecting the extended code from
+  // scratch, for every frequent extension of random databases.
+  Rng rng(404);
+  for (int trial = 0; trial < 5; ++trial) {
+    const GraphDatabase db = testutil::RandomDatabase(&rng, 8, 7, 3, 3, 2);
+    std::vector<int> all;
+    for (int i = 0; i < db.size(); ++i) all.push_back(i);
+
+    engine::ExtensionMap roots = engine::CollectRootExtensions(db);
+    for (const auto& [tuple, projected] : roots) {
+      DfsCode code;
+      code.Append(tuple);
+      engine::ExtensionMap extensions = engine::CollectExtensions(
+          db, code, projected, /*enable_order_pruning=*/false);
+      for (const auto& [ext, child_projected] : extensions) {
+        DfsCode extended = code;
+        extended.Append(ext);
+        std::deque<engine::Embedding> arena;
+        const engine::Projected fresh =
+            engine::ProjectCode(extended, db, all, &arena);
+        EXPECT_EQ(engine::SupportOf(child_projected),
+                  engine::SupportOf(fresh))
+            << extended.ToString();
+        EXPECT_EQ(engine::TidsOf(child_projected), engine::TidsOf(fresh))
+            << extended.ToString();
+      }
+    }
+  }
+}
+
+TEST(EngineTest, OrderPruningOnlyDropsNonMinimalExtensions) {
+  // Every extension group dropped by the order prunings must produce a
+  // non-minimal code — otherwise the pruning would lose patterns.
+  Rng rng(505);
+  for (int trial = 0; trial < 5; ++trial) {
+    const GraphDatabase db = testutil::RandomDatabase(&rng, 6, 6, 3, 2, 2);
+    engine::ExtensionMap roots = engine::CollectRootExtensions(db);
+    for (const auto& [tuple, projected] : roots) {
+      DfsCode code;
+      code.Append(tuple);
+      engine::ExtensionMap pruned =
+          engine::CollectExtensions(db, code, projected, true);
+      engine::ExtensionMap full =
+          engine::CollectExtensions(db, code, projected, false);
+      for (const auto& [ext, child_projected] : full) {
+        (void)child_projected;
+        if (pruned.count(ext) > 0) continue;
+        DfsCode extended = code;
+        extended.Append(ext);
+        EXPECT_FALSE(IsMinimalDfsCode(extended))
+            << "pruning dropped minimal " << extended.ToString();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace partminer

@@ -1,0 +1,95 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/random.h"
+#include "graph/canonical.h"
+#include "tests/test_util.h"
+
+namespace partminer {
+namespace {
+
+TEST(GraphIoTest, ParsesBasicDatabase) {
+  std::istringstream in(
+      "t # 0\n"
+      "v 0 5\n"
+      "v 1 6\n"
+      "e 0 1 7\n"
+      "\n"
+      "# a comment line\n"
+      "t # 3\n"
+      "v 0 1\n");
+  GraphDatabase db;
+  ASSERT_TRUE(ReadGraphDatabase(in, &db).ok());
+  ASSERT_EQ(db.size(), 2);
+  EXPECT_EQ(db.gid(0), 0);
+  EXPECT_EQ(db.gid(1), 3);
+  EXPECT_EQ(db.graph(0).VertexCount(), 2);
+  EXPECT_EQ(db.graph(0).EdgeLabelBetween(0, 1), 7);
+  EXPECT_EQ(db.graph(1).VertexCount(), 1);
+  EXPECT_EQ(db.graph(1).EdgeCount(), 0);
+}
+
+TEST(GraphIoTest, RejectsMalformedInput) {
+  const char* bad_inputs[] = {
+      "v 0 1\n",                       // Vertex before header.
+      "t # 0\nv 1 5\n",                // Non-dense vertex ids.
+      "t # 0\nv 0 1\ne 0 3 1\n",       // Edge endpoint out of range.
+      "t # 0\nv 0 1\ne 0 0 1\n",       // Self loop.
+      "t 0\n",                         // Missing '#'.
+      "x nonsense\n",                  // Unknown tag.
+  };
+  for (const char* text : bad_inputs) {
+    std::istringstream in(text);
+    GraphDatabase db;
+    EXPECT_FALSE(ReadGraphDatabase(in, &db).ok()) << text;
+  }
+}
+
+TEST(GraphIoTest, RoundTripPreservesIsomorphismClass) {
+  Rng rng(5);
+  GraphDatabase db;
+  for (int i = 0; i < 20; ++i) {
+    db.Add(testutil::RandomConnectedGraph(&rng, 8, 4, 4, 3), i * 3);
+  }
+  std::ostringstream out;
+  ASSERT_TRUE(WriteGraphDatabase(db, out).ok());
+  std::istringstream in(out.str());
+  GraphDatabase reloaded;
+  ASSERT_TRUE(ReadGraphDatabase(in, &reloaded).ok());
+  ASSERT_EQ(reloaded.size(), db.size());
+  for (int i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(reloaded.gid(i), db.gid(i));
+    EXPECT_EQ(MinimumDfsCode(reloaded.graph(i)), MinimumDfsCode(db.graph(i)));
+  }
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  GraphDatabase db;
+  Graph g;
+  g.AddVertex(1);
+  g.AddVertex(2);
+  g.AddEdge(0, 1, 3);
+  db.Add(g, 42);
+  const std::string path =
+      "/tmp/partminer_io_test_" + std::to_string(::getpid()) + ".lg";
+  ASSERT_TRUE(WriteGraphDatabaseFile(db, path).ok());
+  GraphDatabase reloaded;
+  ASSERT_TRUE(ReadGraphDatabaseFile(path, &reloaded).ok());
+  ASSERT_EQ(reloaded.size(), 1);
+  EXPECT_EQ(reloaded.gid(0), 42);
+  ::unlink(path.c_str());
+}
+
+TEST(GraphIoTest, MissingFileReportsIoError) {
+  GraphDatabase db;
+  const Status status =
+      ReadGraphDatabaseFile("/nonexistent/path/of/doom.lg", &db);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), Status::Code::kIoError);
+}
+
+}  // namespace
+}  // namespace partminer

@@ -1,0 +1,131 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace partminer {
+namespace {
+
+TEST(GraphTest, AddVertexAndEdgeBasics) {
+  Graph g;
+  EXPECT_EQ(g.VertexCount(), 0);
+  const VertexId a = g.AddVertex(5);
+  const VertexId b = g.AddVertex(6);
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  const int32_t eid = g.AddEdge(a, b, 9);
+  EXPECT_EQ(eid, 0);
+  EXPECT_EQ(g.EdgeCount(), 1);
+  EXPECT_EQ(g.Degree(a), 1);
+  EXPECT_EQ(g.Degree(b), 1);
+  EXPECT_TRUE(g.HasEdge(a, b));
+  EXPECT_TRUE(g.HasEdge(b, a));
+  EXPECT_EQ(g.EdgeLabelBetween(a, b), 9);
+  EXPECT_EQ(g.EdgeLabelBetween(b, a), 9);
+}
+
+TEST(GraphTest, AdjacencyHoldsBothHalfEdges) {
+  Graph g(3);
+  g.AddEdge(0, 1, 4);
+  g.AddEdge(1, 2, 5);
+  ASSERT_EQ(g.adjacency(1).size(), 2u);
+  EXPECT_EQ(g.adjacency(1)[0].to, 0);
+  EXPECT_EQ(g.adjacency(1)[1].to, 2);
+  // Shared undirected edge ids.
+  EXPECT_EQ(g.adjacency(0)[0].eid, g.adjacency(1)[0].eid);
+}
+
+TEST(GraphTest, SetEdgeLabelUpdatesBothDirections) {
+  Graph g(2);
+  g.AddEdge(0, 1, 1);
+  EXPECT_TRUE(g.SetEdgeLabel(1, 0, 8));
+  EXPECT_EQ(g.EdgeLabelBetween(0, 1), 8);
+  EXPECT_EQ(g.adjacency(0)[0].label, 8);
+  EXPECT_EQ(g.adjacency(1)[0].label, 8);
+  EXPECT_FALSE(g.SetEdgeLabel(0, 0, 3));  // No such edge.
+}
+
+TEST(GraphTest, IsConnected) {
+  Graph g(4);
+  g.AddEdge(0, 1, 0);
+  g.AddEdge(2, 3, 0);
+  EXPECT_FALSE(g.IsConnected());
+  g.AddEdge(1, 2, 0);
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_FALSE(Graph().IsConnected());  // Empty graph.
+  EXPECT_TRUE(Graph(1).IsConnected());  // Single vertex.
+}
+
+TEST(GraphTest, UndirectedEdgesListsEachOnce) {
+  Graph g(3);
+  g.AddEdge(0, 1, 7);
+  g.AddEdge(1, 2, 8);
+  g.AddEdge(2, 0, 9);
+  const std::vector<EdgeEntry> edges = g.UndirectedEdges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0].label, 7);
+  EXPECT_EQ(edges[1].label, 8);
+  EXPECT_EQ(edges[2].label, 9);
+}
+
+TEST(GraphTest, CompactIsolatedVertices) {
+  Graph g(5);
+  for (VertexId v = 0; v < 5; ++v) g.set_vertex_label(v, v * 10);
+  g.AddEdge(1, 3, 6);  // Vertices 0, 2, 4 are isolated.
+  g.set_update_freq(3, 7);
+  const std::vector<VertexId> mapping = g.CompactIsolatedVertices();
+  EXPECT_EQ(g.VertexCount(), 2);
+  EXPECT_EQ(mapping[0], -1);
+  EXPECT_EQ(mapping[1], 0);
+  EXPECT_EQ(mapping[3], 1);
+  EXPECT_EQ(g.vertex_label(0), 10);
+  EXPECT_EQ(g.vertex_label(1), 30);
+  EXPECT_EQ(g.update_freq(1), 7u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+TEST(GraphTest, UpdateFrequencyBookkeeping) {
+  Graph g(2);
+  EXPECT_EQ(g.update_freq(0), 0u);
+  g.BumpUpdateFreq(0);
+  g.BumpUpdateFreq(0);
+  g.set_update_freq(1, 5);
+  EXPECT_EQ(g.update_freq(0), 2u);
+  EXPECT_EQ(g.update_freq(1), 5u);
+}
+
+TEST(GraphTest, DebugStringFormat) {
+  Graph g(2);
+  g.set_vertex_label(0, 3);
+  g.set_vertex_label(1, 4);
+  g.AddEdge(0, 1, 5);
+  EXPECT_EQ(g.DebugString(), "v 0 3\nv 1 4\ne 0 1 5\n");
+}
+
+TEST(GraphDatabaseTest, GidDefaultsToIndex) {
+  GraphDatabase db;
+  EXPECT_TRUE(db.empty());
+  db.Add(Graph(1));
+  db.Add(Graph(2), 42);
+  EXPECT_EQ(db.size(), 2);
+  EXPECT_EQ(db.gid(0), 0);
+  EXPECT_EQ(db.gid(1), 42);
+}
+
+TEST(GraphDatabaseTest, TotalEdges) {
+  GraphDatabase db;
+  Graph g(3);
+  g.AddEdge(0, 1, 0);
+  g.AddEdge(1, 2, 0);
+  db.Add(g);
+  db.Add(Graph(1));
+  EXPECT_EQ(db.TotalEdges(), 2);
+}
+
+TEST(GraphDeathTest, RejectsInvalidEdges) {
+  Graph g(2);
+  EXPECT_DEATH(g.AddEdge(0, 0, 1), "Check failed");   // Self loop.
+  EXPECT_DEATH(g.AddEdge(0, 5, 1), "Check failed");   // Out of range.
+}
+
+}  // namespace
+}  // namespace partminer

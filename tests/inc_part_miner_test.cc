@@ -1,0 +1,239 @@
+#include "core/inc_part_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datagen/generator.h"
+#include "datagen/update_generator.h"
+#include "miner/gspan.h"
+#include "tests/test_util.h"
+
+namespace partminer {
+namespace {
+
+void ExpectSameResults(const PatternSet& expected, const PatternSet& actual,
+                       const std::string& what) {
+  EXPECT_EQ(expected.SortedCodeStrings(), actual.SortedCodeStrings()) << what;
+  for (const PatternInfo& p : expected.patterns()) {
+    const PatternInfo* q = actual.Find(p.code);
+    ASSERT_NE(q, nullptr) << what << ": missing " << p.code.ToString();
+    EXPECT_EQ(p.support, q->support) << what << ": " << p.code.ToString();
+    EXPECT_EQ(p.tids, q->tids) << what << ": " << p.code.ToString();
+  }
+}
+
+GraphDatabase MakeDatabase(uint64_t seed, int graphs = 16) {
+  GeneratorParams params;
+  params.num_graphs = graphs;
+  params.avg_edges = 10;
+  params.num_labels = 5;
+  params.num_kernels = 8;
+  params.avg_kernel_edges = 3;
+  params.seed = seed;
+  GraphDatabase db = GenerateDatabase(params);
+  AssignUpdateHotspots(&db, 0.2, seed + 1);
+  return db;
+}
+
+struct IncCase {
+  int k;
+  UpdateKind kind;
+  double fraction;
+};
+
+class IncPartMinerEquivalence : public ::testing::TestWithParam<IncCase> {};
+
+/// The incremental headline property: after updates, IncPartMiner's result
+/// equals a from-scratch gSpan mining of the updated database, and the
+/// UF/FI/IF sets partition old/new results exactly.
+TEST_P(IncPartMinerEquivalence, MatchesFromScratch) {
+  const IncCase& c = GetParam();
+  GraphDatabase db = MakeDatabase(42 + c.k);
+
+  PartMinerOptions options;
+  options.min_support_count = 4;
+  options.partition.k = c.k;
+  PartMiner miner(options);
+  const PartMinerResult before = miner.Mine(db);
+
+  UpdateOptions upd;
+  upd.fraction_graphs = c.fraction;
+  upd.kinds = {c.kind};
+  upd.seed = 99 + c.k;
+  const UpdateLog log = ApplyUpdates(&db, 5, upd);
+  ASSERT_FALSE(log.updated_graphs.empty());
+
+  IncPartMiner inc;
+  const IncPartMinerResult result = inc.Update(&miner, db, log);
+
+  GSpanMiner gspan;
+  MinerOptions full;
+  full.min_support = 4;
+  const PatternSet expected = gspan.Mine(db, full);
+  ExpectSameResults(expected, result.patterns, "incremental vs scratch");
+
+  // Classification exactness.
+  for (const PatternInfo& p : result.uf.patterns()) {
+    EXPECT_TRUE(before.patterns.Contains(p.code));
+    EXPECT_TRUE(expected.Contains(p.code));
+  }
+  for (const PatternInfo& p : result.if_.patterns()) {
+    EXPECT_FALSE(before.patterns.Contains(p.code));
+    EXPECT_TRUE(expected.Contains(p.code));
+  }
+  for (const PatternInfo& p : result.fi.patterns()) {
+    EXPECT_TRUE(before.patterns.Contains(p.code));
+    EXPECT_FALSE(expected.Contains(p.code));
+  }
+  EXPECT_EQ(result.uf.size() + result.if_.size(),
+            static_cast<int>(expected.size()));
+  EXPECT_EQ(result.uf.size() + result.fi.size(), before.patterns.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IncPartMinerEquivalence,
+    ::testing::Values(IncCase{2, UpdateKind::kRelabel, 0.3},
+                      IncCase{2, UpdateKind::kAddEdge, 0.3},
+                      IncCase{2, UpdateKind::kAddVertex, 0.3},
+                      IncCase{3, UpdateKind::kRelabel, 0.5},
+                      IncCase{4, UpdateKind::kAddEdge, 0.5},
+                      IncCase{4, UpdateKind::kAddVertex, 0.8},
+                      IncCase{6, UpdateKind::kRelabel, 0.8}),
+    [](const ::testing::TestParamInfo<IncCase>& info) {
+      const char* kind =
+          info.param.kind == UpdateKind::kRelabel     ? "relabel"
+          : info.param.kind == UpdateKind::kAddEdge   ? "addedge"
+                                                      : "addvertex";
+      return "k" + std::to_string(info.param.k) + "_" + kind + "_f" +
+             std::to_string(static_cast<int>(info.param.fraction * 100));
+    });
+
+TEST(IncPartMinerTest, ForcedDeltaPathStaysExactAcrossRounds) {
+  // Force the frontier-backed delta sweep at every node for every round —
+  // the path whose correctness depends on multi-round frontier maintenance
+  // (stripping, refresh, promotion, subtree cuts).
+  GraphDatabase db = MakeDatabase(99);
+  PartMinerOptions options;
+  options.min_support_count = 4;
+  options.partition.k = 3;
+  options.inc_delta_sweep_max_fraction = 1.0;
+  PartMiner miner(options);
+  miner.Mine(db);
+
+  GSpanMiner gspan;
+  MinerOptions full;
+  full.min_support = 4;
+
+  IncPartMiner inc;
+  for (int round = 0; round < 6; ++round) {
+    UpdateOptions upd;
+    upd.fraction_graphs = 0.3;
+    upd.updates_per_graph = 2;
+    upd.kinds = {static_cast<UpdateKind>(round % 3)};
+    upd.seed = 4000 + round;
+    const UpdateLog log = ApplyUpdates(&db, 5, upd);
+    const IncPartMinerResult result = inc.Update(&miner, db, log);
+    ExpectSameResults(gspan.Mine(db, full), result.patterns,
+                      "forced-delta round " + std::to_string(round));
+  }
+}
+
+TEST(IncPartMinerTest, MultipleRoundsStayExact) {
+  GraphDatabase db = MakeDatabase(7);
+  PartMinerOptions options;
+  options.min_support_count = 4;
+  options.partition.k = 4;
+  PartMiner miner(options);
+  miner.Mine(db);
+
+  GSpanMiner gspan;
+  MinerOptions full;
+  full.min_support = 4;
+
+  IncPartMiner inc;
+  for (int round = 0; round < 4; ++round) {
+    UpdateOptions upd;
+    upd.fraction_graphs = 0.4;
+    upd.seed = 1000 + round;
+    const UpdateLog log = ApplyUpdates(&db, 5, upd);
+    const IncPartMinerResult result = inc.Update(&miner, db, log);
+    ExpectSameResults(gspan.Mine(db, full), result.patterns,
+                      "round " + std::to_string(round));
+  }
+}
+
+TEST(IncPartMinerTest, UntouchedUnitsAreNotRemined) {
+  GraphDatabase db = MakeDatabase(13, /*graphs=*/20);
+  PartMinerOptions options;
+  options.min_support_count = 4;
+  options.partition.k = 4;
+  PartMiner miner(options);
+  miner.Mine(db);
+
+  // One surgical update: relabel a degree-1 vertex of graph 0. The touched
+  // units are at most {unit(v), unit(neighbor)} — strictly fewer than k.
+  Graph& g0 = db.mutable_graph(0);
+  VertexId leaf = -1;
+  for (VertexId v = 0; v < g0.VertexCount(); ++v) {
+    if (g0.Degree(v) == 1) {
+      leaf = v;
+      break;
+    }
+  }
+  ASSERT_NE(leaf, -1) << "expected a degree-1 vertex in the first graph";
+  g0.set_vertex_label(leaf, g0.vertex_label(leaf) + 100);
+  g0.BumpUpdateFreq(leaf);
+  UpdateLog log;
+  log.updated_graphs = {0};
+  log.touched_vertices = {{0, leaf}};
+
+  IncPartMiner inc;
+  const IncPartMinerResult result = inc.Update(&miner, db, log);
+  EXPECT_LT(result.remined_units.Count(), 4)
+      << "expected at least one unit untouched";
+  for (int j = 0; j < 4; ++j) {
+    if (!result.remined_units.Test(j)) {
+      EXPECT_EQ(result.unit_mining_seconds[j], 0.0);
+    }
+  }
+}
+
+TEST(IncPartMinerTest, IncrementalWorkIsBoundedByUpdates) {
+  GraphDatabase db = MakeDatabase(21, /*graphs=*/24);
+  PartMinerOptions options;
+  options.min_support_count = 5;
+  options.partition.k = 2;
+  PartMiner miner(options);
+  const PartMinerResult before = miner.Mine(db);
+
+  UpdateOptions upd;
+  upd.fraction_graphs = 0.1;
+  upd.seed = 3;
+  const UpdateLog log = ApplyUpdates(&db, 5, upd);
+
+  IncPartMiner inc;
+  const IncPartMinerResult result = inc.Update(&miner, db, log);
+  // The incremental merge delta-recounts the cached patterns (touching only
+  // updated graphs) and counts far fewer fresh candidates than the initial
+  // mine verified patterns.
+  EXPECT_GT(result.merge_stats.delta_recounts, 0);
+  EXPECT_LT(result.merge_stats.candidates_counted,
+            before.merge_stats.candidates_counted);
+  // The final verification trusts the exact merge output: at most the stale
+  // pre-update patterns (FI candidates) are re-examined.
+  EXPECT_LE(result.verify_stats.graphs_examined,
+            static_cast<int64_t>(log.updated_graphs.size()) *
+                (before.patterns.size() + 1));
+}
+
+TEST(IncPartMinerTest, RequiresMinedState) {
+  PartMinerOptions options;
+  PartMiner miner(options);
+  IncPartMiner inc;
+  GraphDatabase db;
+  UpdateLog log;
+  EXPECT_DEATH(inc.Update(&miner, db, log), "requires a completed Mine");
+}
+
+}  // namespace
+}  // namespace partminer

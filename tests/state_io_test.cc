@@ -1,0 +1,141 @@
+#include "core/state_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/inc_part_miner.h"
+#include "datagen/generator.h"
+#include "datagen/update_generator.h"
+#include "miner/gspan.h"
+
+namespace partminer {
+namespace {
+
+void ExpectSameResults(const PatternSet& expected, const PatternSet& actual,
+                       const std::string& what) {
+  EXPECT_EQ(expected.SortedCodeStrings(), actual.SortedCodeStrings()) << what;
+  for (const PatternInfo& p : expected.patterns()) {
+    const PatternInfo* q = actual.Find(p.code);
+    ASSERT_NE(q, nullptr) << what;
+    EXPECT_EQ(p.support, q->support) << what;
+    EXPECT_EQ(p.tids, q->tids) << what;
+  }
+}
+
+GraphDatabase MakeDatabase(uint64_t seed) {
+  GeneratorParams params;
+  params.num_graphs = 16;
+  params.avg_edges = 10;
+  params.num_labels = 5;
+  params.num_kernels = 8;
+  params.seed = seed;
+  GraphDatabase db = GenerateDatabase(params);
+  AssignUpdateHotspots(&db, 0.2, seed + 1);
+  return db;
+}
+
+TEST(StateIoTest, RoundTripPreservesVerifiedResult) {
+  GraphDatabase db = MakeDatabase(5);
+  PartMinerOptions options;
+  options.min_support_count = 4;
+  options.partition.k = 3;
+  PartMiner miner(options);
+  const PartMinerResult original = miner.Mine(db);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveMinerState(miner, buffer).ok());
+
+  PartMiner restored(options);
+  ASSERT_TRUE(LoadMinerState(buffer, &restored).ok());
+  EXPECT_TRUE(restored.mined());
+  EXPECT_EQ(restored.root_support(), 4);
+  ExpectSameResults(original.patterns, restored.verified(), "round trip");
+  EXPECT_EQ(miner.partitioned().assignments(),
+            restored.partitioned().assignments());
+}
+
+TEST(StateIoTest, RestoredMinerContinuesIncrementally) {
+  // The whole point: a restarted process resumes incremental maintenance
+  // from the persisted state with exact results.
+  GraphDatabase db = MakeDatabase(9);
+  PartMinerOptions options;
+  options.min_support_count = 4;
+  options.partition.k = 4;
+  PartMiner miner(options);
+  miner.Mine(db);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveMinerState(miner, buffer).ok());
+  PartMiner restored(options);
+  ASSERT_TRUE(LoadMinerState(buffer, &restored).ok());
+
+  UpdateOptions upd;
+  upd.fraction_graphs = 0.3;
+  upd.seed = 42;
+  const UpdateLog log = ApplyUpdates(&db, 5, upd);
+
+  IncPartMiner inc;
+  const IncPartMinerResult result = inc.Update(&restored, db, log);
+
+  GSpanMiner gspan;
+  MinerOptions full;
+  full.min_support = 4;
+  ExpectSameResults(gspan.Mine(db, full), result.patterns,
+                    "incremental after restore");
+}
+
+TEST(StateIoTest, FileRoundTrip) {
+  GraphDatabase db = MakeDatabase(11);
+  PartMinerOptions options;
+  options.min_support_count = 3;
+  options.partition.k = 2;
+  PartMiner miner(options);
+  miner.Mine(db);
+
+  const std::string path =
+      "/tmp/partminer_state_" + std::to_string(::getpid()) + ".state";
+  ASSERT_TRUE(SaveMinerStateFile(miner, path).ok());
+  PartMiner restored(options);
+  ASSERT_TRUE(LoadMinerStateFile(path, &restored).ok());
+  ExpectSameResults(miner.verified(), restored.verified(), "file round trip");
+  ::unlink(path.c_str());
+}
+
+TEST(StateIoTest, RejectsUnminedAndMismatchedStates) {
+  PartMinerOptions options;
+  options.partition.k = 2;
+  PartMiner unmined(options);
+  std::stringstream buffer;
+  EXPECT_EQ(SaveMinerState(unmined, buffer).code(),
+            Status::Code::kInvalidArgument);
+
+  // Saved with k=3, loaded into k=2: rejected.
+  GraphDatabase db = MakeDatabase(13);
+  PartMinerOptions k3 = options;
+  k3.min_support_count = 4;
+  k3.partition.k = 3;
+  PartMiner miner(k3);
+  miner.Mine(db);
+  std::stringstream saved;
+  ASSERT_TRUE(SaveMinerState(miner, saved).ok());
+  PartMiner wrong_k(options);
+  EXPECT_EQ(LoadMinerState(saved, &wrong_k).code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_FALSE(wrong_k.mined());  // Failed load leaves the miner untouched.
+}
+
+TEST(StateIoTest, RejectsCorruptInput) {
+  PartMinerOptions options;
+  PartMiner miner(options);
+  for (const char* text :
+       {"", "garbage 1", "partminer-state 99\n",
+        "partminer-state 1\nroot_support x\n"}) {
+    std::stringstream in(text);
+    EXPECT_FALSE(LoadMinerState(in, &miner).ok()) << "'" << text << "'";
+    EXPECT_FALSE(miner.mined());
+  }
+}
+
+}  // namespace
+}  // namespace partminer

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace partminer {
+namespace {
+
+std::string TempPath(const char* tag) {
+  return std::string("/tmp/partminer_storage_test_") + tag + "_" +
+         std::to_string(::getpid());
+}
+
+TEST(DiskManagerTest, RoundTripPages) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(TempPath("rt")).ok());
+  const PageId a = disk.Allocate();
+  const PageId b = disk.Allocate();
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+
+  char write_buf[kPageSize];
+  char read_buf[kPageSize];
+  std::memset(write_buf, 0xAB, kPageSize);
+  ASSERT_TRUE(disk.WritePage(b, write_buf).ok());
+  ASSERT_TRUE(disk.ReadPage(b, read_buf).ok());
+  EXPECT_EQ(std::memcmp(write_buf, read_buf, kPageSize), 0);
+
+  // Never-written page reads as zeros.
+  ASSERT_TRUE(disk.ReadPage(a, read_buf).ok());
+  for (int i = 0; i < kPageSize; ++i) ASSERT_EQ(read_buf[i], 0) << i;
+  EXPECT_EQ(disk.stats().page_reads, 2);
+  EXPECT_EQ(disk.stats().page_writes, 1);
+}
+
+TEST(DiskManagerTest, ResetDropsPages) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(TempPath("reset")).ok());
+  disk.Allocate();
+  disk.Allocate();
+  EXPECT_EQ(disk.page_count(), 2);
+  ASSERT_TRUE(disk.Reset().ok());
+  EXPECT_EQ(disk.page_count(), 0);
+}
+
+TEST(BufferPoolTest, FetchCachesPages) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(TempPath("cache")).ok());
+  BufferPool pool(&disk, 4);
+
+  PageId id;
+  char* data = pool.Allocate(&id);
+  ASSERT_NE(data, nullptr);
+  data[0] = 42;
+  pool.Unpin(id, /*dirty=*/true);
+
+  // Cached fetch: no disk read.
+  const int64_t reads_before = disk.stats().page_reads;
+  char* again = pool.Fetch(id);
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(again[0], 42);
+  EXPECT_EQ(disk.stats().page_reads, reads_before);
+  pool.Unpin(id, false);
+  EXPECT_GT(disk.stats().pool_hits, 0);
+}
+
+TEST(BufferPoolTest, EvictionWritesBackDirtyPages) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(TempPath("evict")).ok());
+  BufferPool pool(&disk, 2);
+
+  // Fill three pages through a two-frame pool.
+  PageId ids[3];
+  for (int i = 0; i < 3; ++i) {
+    char* data = pool.Allocate(&ids[i]);
+    ASSERT_NE(data, nullptr);
+    data[0] = static_cast<char>(i + 1);
+    pool.Unpin(ids[i], true);
+  }
+  EXPECT_GT(disk.stats().evictions, 0);
+  EXPECT_GT(disk.stats().page_writes, 0);
+
+  // Page 0 was evicted; fetching it re-reads the written-back contents.
+  char* data = pool.Fetch(ids[0]);
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data[0], 1);
+  pool.Unpin(ids[0], false);
+  EXPECT_GT(disk.stats().page_reads, 0);
+}
+
+TEST(BufferPoolTest, AllPinnedReturnsNull) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(TempPath("pinned")).ok());
+  BufferPool pool(&disk, 2);
+  PageId a, b, c;
+  ASSERT_NE(pool.Allocate(&a), nullptr);
+  ASSERT_NE(pool.Allocate(&b), nullptr);
+  EXPECT_EQ(pool.Allocate(&c), nullptr);  // No frame available.
+  pool.Unpin(a, false);
+  EXPECT_NE(pool.Allocate(&c), nullptr);  // LRU frame reclaimed.
+}
+
+TEST(BufferPoolTest, PinnedPagesSurviveEvictionPressure) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(TempPath("pin2")).ok());
+  BufferPool pool(&disk, 2);
+  PageId pinned;
+  char* data = pool.Allocate(&pinned);
+  ASSERT_NE(data, nullptr);
+  data[7] = 99;
+
+  // Churn the other frame.
+  for (int i = 0; i < 5; ++i) {
+    PageId id;
+    char* p = pool.Allocate(&id);
+    ASSERT_NE(p, nullptr);
+    pool.Unpin(id, true);
+  }
+  EXPECT_EQ(data[7], 99);  // Still resident and intact.
+  pool.Unpin(pinned, true);
+}
+
+TEST(BufferPoolTest, ClearResetsFrames) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(TempPath("clear")).ok());
+  BufferPool pool(&disk, 2);
+  PageId a;
+  ASSERT_NE(pool.Allocate(&a), nullptr);
+  pool.Unpin(a, true);
+  ASSERT_TRUE(pool.FlushAll().ok());
+  pool.Clear();
+  // After Clear, fetching re-reads from disk.
+  const int64_t reads_before = disk.stats().page_reads;
+  ASSERT_NE(pool.Fetch(a), nullptr);
+  EXPECT_EQ(disk.stats().page_reads, reads_before + 1);
+  pool.Unpin(a, false);
+}
+
+}  // namespace
+}  // namespace partminer

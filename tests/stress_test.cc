@@ -1,0 +1,179 @@
+// Stress / failure-injection tests: adversarial update sequences, degenerate
+// partitions, and boundary parameters that unit tests miss.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/inc_part_miner.h"
+#include "core/part_miner.h"
+#include "datagen/generator.h"
+#include "datagen/update_generator.h"
+#include "miner/gspan.h"
+#include "tests/test_util.h"
+
+namespace partminer {
+namespace {
+
+void ExpectSamePatterns(const PatternSet& expected, const PatternSet& actual,
+                        const std::string& what) {
+  EXPECT_EQ(expected.SortedCodeStrings(), actual.SortedCodeStrings()) << what;
+  for (const PatternInfo& p : expected.patterns()) {
+    const PatternInfo* q = actual.Find(p.code);
+    ASSERT_NE(q, nullptr) << what;
+    EXPECT_EQ(p.support, q->support) << what << " " << p.code.ToString();
+  }
+}
+
+TEST(StressTest, ManyIncrementalRoundsMixedKinds) {
+  // Ten rounds alternating update kinds and fractions, including new labels;
+  // exactness must hold after every round.
+  GeneratorParams params;
+  params.num_graphs = 20;
+  params.avg_edges = 10;
+  params.num_labels = 4;
+  params.num_kernels = 6;
+  params.seed = 31;
+  GraphDatabase db = GenerateDatabase(params);
+  AssignUpdateHotspots(&db, 0.2, 32);
+
+  PartMinerOptions options;
+  options.min_support_count = 4;
+  options.partition.k = 4;
+  PartMiner miner(options);
+  miner.Mine(db);
+
+  GSpanMiner gspan;
+  MinerOptions full;
+  full.min_support = 4;
+
+  IncPartMiner inc;
+  for (int round = 0; round < 10; ++round) {
+    UpdateOptions upd;
+    upd.fraction_graphs = (round % 3 == 0) ? 0.05 : 0.5;
+    upd.updates_per_graph = 1 + round % 3;
+    upd.new_label_probability = 0.4;  // Aggressive new-label injection.
+    upd.kinds = {static_cast<UpdateKind>(round % 3)};
+    upd.seed = 7000 + round;
+    const UpdateLog log = ApplyUpdates(&db, params.num_labels, upd);
+    const IncPartMinerResult r = inc.Update(&miner, db, log);
+    ExpectSamePatterns(gspan.Mine(db, full), r.patterns,
+                       "round " + std::to_string(round));
+  }
+}
+
+TEST(StressTest, VertexChainsRouteThroughNewVertices) {
+  // AddVertex updates can chain (a new vertex attached to a new vertex via
+  // repeated rounds); assignment extension must stay total.
+  GeneratorParams params;
+  params.num_graphs = 10;
+  params.avg_edges = 8;
+  params.num_labels = 4;
+  params.num_kernels = 4;
+  params.seed = 77;
+  GraphDatabase db = GenerateDatabase(params);
+
+  PartMinerOptions options;
+  options.min_support_count = 3;
+  options.partition.k = 3;
+  PartMiner miner(options);
+  miner.Mine(db);
+
+  GSpanMiner gspan;
+  MinerOptions full;
+  full.min_support = 3;
+  IncPartMiner inc;
+  for (int round = 0; round < 5; ++round) {
+    UpdateOptions upd;
+    upd.fraction_graphs = 1.0;
+    upd.updates_per_graph = 3;
+    upd.kinds = {UpdateKind::kAddVertex};
+    upd.seed = 900 + round;
+    const UpdateLog log = ApplyUpdates(&db, params.num_labels, upd);
+    const IncPartMinerResult r = inc.Update(&miner, db, log);
+    ExpectSamePatterns(gspan.Mine(db, full), r.patterns,
+                       "chain round " + std::to_string(round));
+    // Every vertex of every graph must have a unit assignment.
+    const PartitionedDatabase& part = miner.partitioned();
+    for (int i = 0; i < db.size(); ++i) {
+      for (VertexId v = 0; v < db.graph(i).VertexCount(); ++v) {
+        const int unit = part.unit_of(i, v);
+        EXPECT_GE(unit, 0);
+        EXPECT_LT(unit, 3);
+      }
+    }
+  }
+}
+
+TEST(StressTest, MoreUnitsThanVertices) {
+  // Tiny graphs with k=6 units: most units end up empty; everything must
+  // still be exact.
+  GraphDatabase db;
+  Rng rng(3);
+  for (int i = 0; i < 12; ++i) {
+    db.Add(testutil::RandomConnectedGraph(&rng, 3, 1, 2, 2));
+  }
+  PartMinerOptions options;
+  options.min_support_count = 3;
+  options.partition.k = 6;
+  PartMiner miner(options);
+  const PartMinerResult result = miner.Mine(db);
+
+  GSpanMiner gspan;
+  MinerOptions full;
+  full.min_support = 3;
+  ExpectSamePatterns(gspan.Mine(db, full), result.patterns, "k>vertices");
+}
+
+TEST(StressTest, SingleGraphDatabase) {
+  Rng rng(4);
+  GraphDatabase db;
+  db.Add(testutil::RandomConnectedGraph(&rng, 10, 5, 3, 2));
+  PartMinerOptions options;
+  options.min_support_count = 1;
+  options.partition.k = 2;
+  options.max_edges = 4;  // Bound the lattice of the single graph.
+  PartMiner miner(options);
+  const PartMinerResult result = miner.Mine(db);
+
+  GSpanMiner gspan;
+  MinerOptions full;
+  full.min_support = 1;
+  full.max_edges = 4;
+  ExpectSamePatterns(gspan.Mine(db, full), result.patterns, "single graph");
+}
+
+TEST(StressTest, EmptyUpdateLogIsIdentity) {
+  GeneratorParams params;
+  params.num_graphs = 10;
+  params.avg_edges = 8;
+  params.num_labels = 4;
+  params.num_kernels = 4;
+  GraphDatabase db = GenerateDatabase(params);
+  PartMinerOptions options;
+  options.min_support_count = 3;
+  options.partition.k = 2;
+  PartMiner miner(options);
+  const PartMinerResult before = miner.Mine(db);
+
+  IncPartMiner inc;
+  UpdateLog empty;
+  const IncPartMinerResult r = inc.Update(&miner, db, empty);
+  ExpectSamePatterns(before.patterns, r.patterns, "empty update");
+  EXPECT_TRUE(r.remined_units.Empty());
+  EXPECT_EQ(r.fi.size(), 0);
+  EXPECT_EQ(r.if_.size(), 0);
+}
+
+TEST(StressTest, HighSupportYieldsEmptyResultCleanly) {
+  Rng rng(5);
+  const GraphDatabase db = testutil::RandomDatabase(&rng, 6, 5, 2, 5, 3);
+  PartMinerOptions options;
+  options.min_support_count = 100;  // Above the database size.
+  options.partition.k = 3;
+  PartMiner miner(options);
+  const PartMinerResult result = miner.Mine(db);
+  EXPECT_EQ(result.patterns.size(), 0);
+}
+
+}  // namespace
+}  // namespace partminer

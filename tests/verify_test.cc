@@ -1,0 +1,150 @@
+#include "core/verify.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/merge_join.h"
+#include "miner/engine.h"
+#include "miner/gspan.h"
+#include "tests/test_util.h"
+
+namespace partminer {
+namespace {
+
+TEST(VerifyExactTest, FiltersAndRecountsStaleCandidates) {
+  Rng rng(9);
+  const GraphDatabase db = testutil::RandomDatabase(&rng, 12, 7, 3, 3, 2);
+  GSpanMiner miner;
+  MinerOptions loose;
+  loose.min_support = 2;
+  const PatternSet at2 = miner.Mine(db, loose);
+
+  // Mark everything stale and verify at support 4: result must equal direct
+  // mining at 4 with exact supports.
+  PatternSet candidates;
+  for (const PatternInfo& p : at2.patterns()) {
+    PatternInfo q = p;
+    q.exact_tids = false;
+    q.support = 0;     // Garbage on purpose.
+    candidates.Upsert(std::move(q));
+  }
+  VerifyStats stats;
+  const PatternSet verified = VerifyExact(db, candidates, 4, &stats);
+
+  MinerOptions strict;
+  strict.min_support = 4;
+  const PatternSet expected = miner.Mine(db, strict);
+  EXPECT_EQ(expected.SortedCodeStrings(), verified.SortedCodeStrings());
+  for (const PatternInfo& p : expected.patterns()) {
+    const PatternInfo* q = verified.Find(p.code);
+    ASSERT_NE(q, nullptr);
+    EXPECT_EQ(p.support, q->support);
+    EXPECT_EQ(p.tids, q->tids);
+  }
+  EXPECT_GT(stats.patterns_in, stats.patterns_kept);
+}
+
+TEST(VerifyExactTest, TrustsExactCandidates) {
+  Rng rng(10);
+  const GraphDatabase db = testutil::RandomDatabase(&rng, 10, 6, 2, 3, 2);
+  GSpanMiner miner;
+  MinerOptions options;
+  options.min_support = 3;
+  const PatternSet mined = miner.Mine(db, options);  // exact_tids set.
+  VerifyStats stats;
+  const PatternSet verified = VerifyExact(db, mined, 3, &stats);
+  EXPECT_EQ(mined.SortedCodeStrings(), verified.SortedCodeStrings());
+  // Trusted candidates trigger no counting at all.
+  EXPECT_EQ(stats.graphs_examined, 0);
+  EXPECT_EQ(stats.full_scans, 0);
+}
+
+TEST(VerifyDeltaTest, MatchesFromScratchAfterMutation) {
+  Rng rng(11);
+  GraphDatabase db = testutil::RandomDatabase(&rng, 14, 7, 3, 3, 2);
+  GSpanMiner miner;
+  MinerOptions options;
+  options.min_support = 3;
+  const PatternSet before = miner.Mine(db, options);
+
+  // Drop one edge label change into three graphs.
+  std::vector<int> updated = {1, 5, 9};
+  for (const int gi : updated) {
+    Graph& g = db.mutable_graph(gi);
+    const EdgeEntry e = g.UndirectedEdges()[0];
+    g.SetEdgeLabel(e.from, e.to, e.label + 1);
+  }
+
+  PatternSet candidates;
+  for (const PatternInfo& p : before.patterns()) {
+    PatternInfo q = p;
+    q.exact_tids = false;
+    candidates.Upsert(std::move(q));
+  }
+  // Also seed the fresh single edges so new patterns are reachable.
+  const PatternSet fresh_edges = FrequentSingleEdges(db, 3);
+  for (const PatternInfo& p : fresh_edges.patterns()) {
+    if (!candidates.Contains(p.code)) candidates.Upsert(p);
+  }
+
+  VerifyStats stats;
+  const PatternSet after =
+      VerifyDelta(db, candidates, before, updated, 3, &stats);
+  // Delta verification is exact for every candidate it was given.
+  const PatternSet expected = miner.Mine(db, options);
+  for (const PatternInfo& p : after.patterns()) {
+    const PatternInfo* q = expected.Find(p.code);
+    ASSERT_NE(q, nullptr) << p.code.ToString();
+    EXPECT_EQ(p.support, q->support);
+    EXPECT_EQ(p.tids, q->tids);
+  }
+}
+
+TEST(ProjectCodeTest, EnumeratesAllEmbeddings) {
+  // Triangle with uniform labels: 6 automorphic embeddings of its own code.
+  Graph triangle;
+  triangle.AddVertex(0);
+  triangle.AddVertex(0);
+  triangle.AddVertex(0);
+  triangle.AddEdge(0, 1, 0);
+  triangle.AddEdge(1, 2, 0);
+  triangle.AddEdge(2, 0, 0);
+  GraphDatabase db;
+  db.Add(triangle);
+
+  DfsCode code;
+  code.Append({0, 1, 0, 0, 0});
+  code.Append({1, 2, 0, 0, 0});
+  code.Append({2, 0, 0, 0, 0});
+  std::deque<engine::Embedding> arena;
+  const engine::Projected projected =
+      engine::ProjectCode(code, db, {0}, &arena);
+  EXPECT_EQ(projected.size(), 6u);
+  EXPECT_EQ(engine::SupportOf(projected), 1);
+
+  // A single-edge code in the triangle: 6 oriented embeddings.
+  DfsCode edge;
+  edge.Append({0, 1, 0, 0, 0});
+  std::deque<engine::Embedding> arena2;
+  EXPECT_EQ(engine::ProjectCode(edge, db, {0}, &arena2).size(), 6u);
+}
+
+TEST(ProjectCodeTest, RespectsGraphRestriction) {
+  GraphDatabase db;
+  for (int i = 0; i < 3; ++i) {
+    Graph g;
+    g.AddVertex(0);
+    g.AddVertex(1);
+    g.AddEdge(0, 1, 0);
+    db.Add(g);
+  }
+  DfsCode edge;
+  edge.Append({0, 1, 0, 0, 1});
+  std::deque<engine::Embedding> arena;
+  const engine::Projected projected =
+      engine::ProjectCode(edge, db, {0, 2}, &arena);
+  EXPECT_EQ(engine::TidsOf(projected), (std::vector<int>{0, 2}));
+}
+
+}  // namespace
+}  // namespace partminer

@@ -1,0 +1,242 @@
+// partminer — command-line frequent-subgraph mining over gSpan-format files.
+//
+//   partminer mine   --input=db.lg --support=0.05 [--k=4] [--algo=partminer|
+//                    gspan|gaston] [--criteria=combined|mincut|isolation|
+//                    metis] [--threads=N] [--max-edges=N]
+//                    [--closed | --maximal] [--output=patterns.lg]
+//   partminer gen    --output=db.lg [--d=500 --t=20 --n=20 --l=50 --i=5
+//                    --seed=1]
+//   partminer stats  --input=db.lg
+//
+// Patterns are written in gSpan format with a `# support <n>` comment per
+// pattern; without --output they go to stdout.
+
+#include <algorithm>
+#include <climits>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/timing.h"
+#include "core/part_miner.h"
+#include "datagen/generator.h"
+#include "graph/graph_io.h"
+#include "miner/closed.h"
+#include "miner/gaston.h"
+#include "miner/gspan.h"
+
+namespace {
+
+using namespace partminer;
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags[arg] = "1";
+    } else {
+      flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+std::string Get(const std::map<std::string, std::string>& flags,
+                const std::string& key, const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  partminer mine  --input=db.lg --support=0.05 [--k=4] "
+               "[--algo=partminer|gspan|gaston] [--criteria=combined|mincut|"
+               "isolation|metis] [--threads=N] [--max-edges=N] [--closed|"
+               "--maximal] [--output=out.lg]\n"
+               "  partminer gen   --output=db.lg [--d --t --n --l --i "
+               "--seed]\n"
+               "  partminer stats --input=db.lg\n");
+  return 2;
+}
+
+Status WritePatterns(const PatternSet& patterns, std::ostream& out) {
+  // Largest supports first, ties by code for determinism.
+  std::vector<const PatternInfo*> ranked;
+  for (const PatternInfo& p : patterns.patterns()) ranked.push_back(&p);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const PatternInfo* a, const PatternInfo* b) {
+              if (a->support != b->support) return a->support > b->support;
+              return a->code.Compare(b->code) < 0;
+            });
+  int next_gid = 0;
+  for (const PatternInfo* p : ranked) {
+    out << "t # " << next_gid++ << "\n";
+    out << "# support " << p->support << "\n";
+    const Graph g = p->code.ToGraph();
+    for (VertexId v = 0; v < g.VertexCount(); ++v) {
+      out << "v " << v << " " << g.vertex_label(v) << "\n";
+    }
+    for (const EdgeEntry& e : g.UndirectedEdges()) {
+      out << "e " << e.from << " " << e.to << " " << e.label << "\n";
+    }
+  }
+  if (!out) return Status::IoError("write failed");
+  return Status::Ok();
+}
+
+int Mine(const std::map<std::string, std::string>& flags) {
+  GraphDatabase db;
+  const std::string input = Get(flags, "input", "");
+  if (input.empty()) return Usage();
+  Status status = ReadGraphDatabaseFile(input, &db);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  const double support = std::atof(Get(flags, "support", "0.05").c_str());
+  const int support_count =
+      support >= 1.0
+          ? static_cast<int>(support)
+          : std::max(1, static_cast<int>(std::ceil(support * db.size())));
+  const int max_edges = std::atoi(Get(flags, "max-edges", "0").c_str());
+  const std::string algo = Get(flags, "algo", "partminer");
+
+  Stopwatch watch;
+  PatternSet patterns;
+  if (algo == "gspan" || algo == "gaston") {
+    MinerOptions options;
+    options.min_support = support_count;
+    if (max_edges > 0) options.max_edges = max_edges;
+    if (algo == "gspan") {
+      GSpanMiner miner;
+      patterns = miner.Mine(db, options);
+    } else {
+      GastonMiner miner;
+      patterns = miner.Mine(db, options);
+    }
+  } else if (algo == "partminer") {
+    PartMinerOptions options;
+    options.min_support_count = support_count;
+    options.partition.k = std::max(1, std::atoi(Get(flags, "k", "2").c_str()));
+    options.unit_mining_threads = std::atoi(Get(flags, "threads", "0").c_str());
+    if (max_edges > 0) options.max_edges = max_edges;
+    const std::string criteria = Get(flags, "criteria", "combined");
+    if (criteria == "mincut") {
+      options.partition.criteria = PartitionCriteria::kMinCut;
+    } else if (criteria == "isolation") {
+      options.partition.criteria = PartitionCriteria::kIsolation;
+    } else if (criteria == "metis") {
+      options.partition.criteria = PartitionCriteria::kMultilevel;
+    } else {
+      options.partition.criteria = PartitionCriteria::kCombined;
+    }
+    PartMiner miner(options);
+    patterns = miner.Mine(db).patterns;
+  } else {
+    return Usage();
+  }
+
+  if (flags.count("closed")) patterns = ClosedPatterns(patterns);
+  if (flags.count("maximal")) patterns = MaximalPatterns(patterns);
+
+  std::fprintf(stderr,
+               "%d graphs, min support %d: %d %spatterns in %.3fs (%s)\n",
+               db.size(), support_count, patterns.size(),
+               flags.count("closed")    ? "closed "
+               : flags.count("maximal") ? "maximal "
+                                        : "",
+               watch.ElapsedSeconds(), algo.c_str());
+
+  const std::string output = Get(flags, "output", "");
+  if (output.empty()) {
+    status = WritePatterns(patterns, std::cout);
+  } else {
+    std::ofstream out(output);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open %s\n", output.c_str());
+      return 1;
+    }
+    status = WritePatterns(patterns, out);
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int Gen(const std::map<std::string, std::string>& flags) {
+  GeneratorParams params;
+  params.num_graphs = std::atoi(Get(flags, "d", "500").c_str());
+  params.avg_edges = std::atoi(Get(flags, "t", "20").c_str());
+  params.num_labels = std::atoi(Get(flags, "n", "20").c_str());
+  params.num_kernels = std::atoi(Get(flags, "l", "50").c_str());
+  params.avg_kernel_edges = std::atoi(Get(flags, "i", "5").c_str());
+  params.seed = std::atoll(Get(flags, "seed", "1").c_str());
+  const GraphDatabase db = GenerateDatabase(params);
+
+  const std::string output = Get(flags, "output", "");
+  const Status status = output.empty()
+                            ? WriteGraphDatabase(db, std::cout)
+                            : WriteGraphDatabaseFile(db, output);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s: %d graphs, %lld edges\n",
+               params.Tag().c_str(), db.size(),
+               static_cast<long long>(db.TotalEdges()));
+  return 0;
+}
+
+int Stats(const std::map<std::string, std::string>& flags) {
+  GraphDatabase db;
+  const Status status = ReadGraphDatabaseFile(Get(flags, "input", ""), &db);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  int64_t vertices = 0;
+  int max_edges = 0;
+  std::map<Label, int> vertex_labels;
+  for (int i = 0; i < db.size(); ++i) {
+    const Graph& g = db.graph(i);
+    vertices += g.VertexCount();
+    max_edges = std::max(max_edges, g.EdgeCount());
+    for (VertexId v = 0; v < g.VertexCount(); ++v) {
+      ++vertex_labels[g.vertex_label(v)];
+    }
+  }
+  std::printf("graphs:          %d\n", db.size());
+  std::printf("vertices:        %lld (avg %.1f)\n",
+              static_cast<long long>(vertices),
+              db.size() ? static_cast<double>(vertices) / db.size() : 0.0);
+  std::printf("edges:           %lld (avg %.1f, max %d)\n",
+              static_cast<long long>(db.TotalEdges()),
+              db.size() ? static_cast<double>(db.TotalEdges()) / db.size()
+                        : 0.0,
+              max_edges);
+  std::printf("vertex labels:   %zu distinct\n", vertex_labels.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const auto flags = ParseFlags(argc, argv);
+  if (command == "mine") return Mine(flags);
+  if (command == "gen") return Gen(flags);
+  if (command == "stats") return Stats(flags);
+  return Usage();
+}
