@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_criteria.dir/bench_fig13_criteria.cc.o"
+  "CMakeFiles/bench_fig13_criteria.dir/bench_fig13_criteria.cc.o.d"
+  "bench_fig13_criteria"
+  "bench_fig13_criteria.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_criteria.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

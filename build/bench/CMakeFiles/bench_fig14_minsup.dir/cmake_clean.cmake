@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_minsup.dir/bench_fig14_minsup.cc.o"
+  "CMakeFiles/bench_fig14_minsup.dir/bench_fig14_minsup.cc.o.d"
+  "bench_fig14_minsup"
+  "bench_fig14_minsup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_minsup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

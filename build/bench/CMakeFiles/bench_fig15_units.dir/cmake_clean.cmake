@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_units.dir/bench_fig15_units.cc.o"
+  "CMakeFiles/bench_fig15_units.dir/bench_fig15_units.cc.o.d"
+  "bench_fig15_units"
+  "bench_fig15_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

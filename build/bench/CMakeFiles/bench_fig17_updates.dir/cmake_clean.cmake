@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_updates.dir/bench_fig17_updates.cc.o"
+  "CMakeFiles/bench_fig17_updates.dir/bench_fig17_updates.cc.o.d"
+  "bench_fig17_updates"
+  "bench_fig17_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

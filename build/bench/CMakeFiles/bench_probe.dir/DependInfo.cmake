@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_probe.cc" "bench/CMakeFiles/bench_probe.dir/bench_probe.cc.o" "gcc" "bench/CMakeFiles/bench_probe.dir/bench_probe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/pm_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_adi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_miner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/pm_bench_common.dir/bench_common.cc.o.d"
+  "libpm_bench_common.a"
+  "libpm_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

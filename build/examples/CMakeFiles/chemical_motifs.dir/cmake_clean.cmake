@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chemical_motifs.dir/chemical_motifs.cpp.o"
+  "CMakeFiles/chemical_motifs.dir/chemical_motifs.cpp.o.d"
+  "chemical_motifs"
+  "chemical_motifs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chemical_motifs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

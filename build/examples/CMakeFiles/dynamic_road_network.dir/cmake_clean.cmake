@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_road_network.dir/dynamic_road_network.cpp.o"
+  "CMakeFiles/dynamic_road_network.dir/dynamic_road_network.cpp.o.d"
+  "dynamic_road_network"
+  "dynamic_road_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_road_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

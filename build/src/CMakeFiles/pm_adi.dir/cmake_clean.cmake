@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_adi.dir/adi/adi_index.cc.o"
+  "CMakeFiles/pm_adi.dir/adi/adi_index.cc.o.d"
+  "CMakeFiles/pm_adi.dir/adi/adi_miner.cc.o"
+  "CMakeFiles/pm_adi.dir/adi/adi_miner.cc.o.d"
+  "libpm_adi.a"
+  "libpm_adi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_adi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_common.dir/common/logging.cc.o"
+  "CMakeFiles/pm_common.dir/common/logging.cc.o.d"
+  "libpm_common.a"
+  "libpm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

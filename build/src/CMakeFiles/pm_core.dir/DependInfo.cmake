@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/inc_part_miner.cc" "src/CMakeFiles/pm_core.dir/core/inc_part_miner.cc.o" "gcc" "src/CMakeFiles/pm_core.dir/core/inc_part_miner.cc.o.d"
+  "/root/repo/src/core/merge_join.cc" "src/CMakeFiles/pm_core.dir/core/merge_join.cc.o" "gcc" "src/CMakeFiles/pm_core.dir/core/merge_join.cc.o.d"
+  "/root/repo/src/core/part_miner.cc" "src/CMakeFiles/pm_core.dir/core/part_miner.cc.o" "gcc" "src/CMakeFiles/pm_core.dir/core/part_miner.cc.o.d"
+  "/root/repo/src/core/state_io.cc" "src/CMakeFiles/pm_core.dir/core/state_io.cc.o" "gcc" "src/CMakeFiles/pm_core.dir/core/state_io.cc.o.d"
+  "/root/repo/src/core/verify.cc" "src/CMakeFiles/pm_core.dir/core/verify.cc.o" "gcc" "src/CMakeFiles/pm_core.dir/core/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pm_miner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

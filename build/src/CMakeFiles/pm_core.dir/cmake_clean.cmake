@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_core.dir/core/inc_part_miner.cc.o"
+  "CMakeFiles/pm_core.dir/core/inc_part_miner.cc.o.d"
+  "CMakeFiles/pm_core.dir/core/merge_join.cc.o"
+  "CMakeFiles/pm_core.dir/core/merge_join.cc.o.d"
+  "CMakeFiles/pm_core.dir/core/part_miner.cc.o"
+  "CMakeFiles/pm_core.dir/core/part_miner.cc.o.d"
+  "CMakeFiles/pm_core.dir/core/state_io.cc.o"
+  "CMakeFiles/pm_core.dir/core/state_io.cc.o.d"
+  "CMakeFiles/pm_core.dir/core/verify.cc.o"
+  "CMakeFiles/pm_core.dir/core/verify.cc.o.d"
+  "libpm_core.a"
+  "libpm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_datagen.dir/datagen/generator.cc.o"
+  "CMakeFiles/pm_datagen.dir/datagen/generator.cc.o.d"
+  "CMakeFiles/pm_datagen.dir/datagen/update_generator.cc.o"
+  "CMakeFiles/pm_datagen.dir/datagen/update_generator.cc.o.d"
+  "libpm_datagen.a"
+  "libpm_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

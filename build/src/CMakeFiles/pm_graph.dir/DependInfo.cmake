@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/canonical.cc" "src/CMakeFiles/pm_graph.dir/graph/canonical.cc.o" "gcc" "src/CMakeFiles/pm_graph.dir/graph/canonical.cc.o.d"
+  "/root/repo/src/graph/dfs_code.cc" "src/CMakeFiles/pm_graph.dir/graph/dfs_code.cc.o" "gcc" "src/CMakeFiles/pm_graph.dir/graph/dfs_code.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/pm_graph.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/pm_graph.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/CMakeFiles/pm_graph.dir/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/pm_graph.dir/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/isomorphism.cc" "src/CMakeFiles/pm_graph.dir/graph/isomorphism.cc.o" "gcc" "src/CMakeFiles/pm_graph.dir/graph/isomorphism.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_graph.dir/graph/canonical.cc.o"
+  "CMakeFiles/pm_graph.dir/graph/canonical.cc.o.d"
+  "CMakeFiles/pm_graph.dir/graph/dfs_code.cc.o"
+  "CMakeFiles/pm_graph.dir/graph/dfs_code.cc.o.d"
+  "CMakeFiles/pm_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/pm_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/pm_graph.dir/graph/graph_io.cc.o"
+  "CMakeFiles/pm_graph.dir/graph/graph_io.cc.o.d"
+  "CMakeFiles/pm_graph.dir/graph/isomorphism.cc.o"
+  "CMakeFiles/pm_graph.dir/graph/isomorphism.cc.o.d"
+  "libpm_graph.a"
+  "libpm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

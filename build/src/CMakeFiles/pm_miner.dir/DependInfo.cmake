@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/miner/apriori.cc" "src/CMakeFiles/pm_miner.dir/miner/apriori.cc.o" "gcc" "src/CMakeFiles/pm_miner.dir/miner/apriori.cc.o.d"
+  "/root/repo/src/miner/brute_force.cc" "src/CMakeFiles/pm_miner.dir/miner/brute_force.cc.o" "gcc" "src/CMakeFiles/pm_miner.dir/miner/brute_force.cc.o.d"
+  "/root/repo/src/miner/closed.cc" "src/CMakeFiles/pm_miner.dir/miner/closed.cc.o" "gcc" "src/CMakeFiles/pm_miner.dir/miner/closed.cc.o.d"
+  "/root/repo/src/miner/engine.cc" "src/CMakeFiles/pm_miner.dir/miner/engine.cc.o" "gcc" "src/CMakeFiles/pm_miner.dir/miner/engine.cc.o.d"
+  "/root/repo/src/miner/extensions.cc" "src/CMakeFiles/pm_miner.dir/miner/extensions.cc.o" "gcc" "src/CMakeFiles/pm_miner.dir/miner/extensions.cc.o.d"
+  "/root/repo/src/miner/gaston.cc" "src/CMakeFiles/pm_miner.dir/miner/gaston.cc.o" "gcc" "src/CMakeFiles/pm_miner.dir/miner/gaston.cc.o.d"
+  "/root/repo/src/miner/gspan.cc" "src/CMakeFiles/pm_miner.dir/miner/gspan.cc.o" "gcc" "src/CMakeFiles/pm_miner.dir/miner/gspan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

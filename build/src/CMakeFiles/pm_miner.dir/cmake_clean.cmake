@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_miner.dir/miner/apriori.cc.o"
+  "CMakeFiles/pm_miner.dir/miner/apriori.cc.o.d"
+  "CMakeFiles/pm_miner.dir/miner/brute_force.cc.o"
+  "CMakeFiles/pm_miner.dir/miner/brute_force.cc.o.d"
+  "CMakeFiles/pm_miner.dir/miner/closed.cc.o"
+  "CMakeFiles/pm_miner.dir/miner/closed.cc.o.d"
+  "CMakeFiles/pm_miner.dir/miner/engine.cc.o"
+  "CMakeFiles/pm_miner.dir/miner/engine.cc.o.d"
+  "CMakeFiles/pm_miner.dir/miner/extensions.cc.o"
+  "CMakeFiles/pm_miner.dir/miner/extensions.cc.o.d"
+  "CMakeFiles/pm_miner.dir/miner/gaston.cc.o"
+  "CMakeFiles/pm_miner.dir/miner/gaston.cc.o.d"
+  "CMakeFiles/pm_miner.dir/miner/gspan.cc.o"
+  "CMakeFiles/pm_miner.dir/miner/gspan.cc.o.d"
+  "libpm_miner.a"
+  "libpm_miner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_miner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/db_partition.cc" "src/CMakeFiles/pm_partition.dir/partition/db_partition.cc.o" "gcc" "src/CMakeFiles/pm_partition.dir/partition/db_partition.cc.o.d"
+  "/root/repo/src/partition/graph_part.cc" "src/CMakeFiles/pm_partition.dir/partition/graph_part.cc.o" "gcc" "src/CMakeFiles/pm_partition.dir/partition/graph_part.cc.o.d"
+  "/root/repo/src/partition/multilevel.cc" "src/CMakeFiles/pm_partition.dir/partition/multilevel.cc.o" "gcc" "src/CMakeFiles/pm_partition.dir/partition/multilevel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_partition.dir/partition/db_partition.cc.o"
+  "CMakeFiles/pm_partition.dir/partition/db_partition.cc.o.d"
+  "CMakeFiles/pm_partition.dir/partition/graph_part.cc.o"
+  "CMakeFiles/pm_partition.dir/partition/graph_part.cc.o.d"
+  "CMakeFiles/pm_partition.dir/partition/multilevel.cc.o"
+  "CMakeFiles/pm_partition.dir/partition/multilevel.cc.o.d"
+  "libpm_partition.a"
+  "libpm_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_storage.dir/storage/buffer_pool.cc.o"
+  "CMakeFiles/pm_storage.dir/storage/buffer_pool.cc.o.d"
+  "CMakeFiles/pm_storage.dir/storage/disk_manager.cc.o"
+  "CMakeFiles/pm_storage.dir/storage/disk_manager.cc.o.d"
+  "libpm_storage.a"
+  "libpm_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

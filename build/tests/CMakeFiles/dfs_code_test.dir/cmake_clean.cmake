@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_code_test.dir/dfs_code_test.cc.o"
+  "CMakeFiles/dfs_code_test.dir/dfs_code_test.cc.o.d"
+  "dfs_code_test"
+  "dfs_code_test.pdb"
+  "dfs_code_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_code_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inc_part_miner_test.dir/inc_part_miner_test.cc.o"
+  "CMakeFiles/inc_part_miner_test.dir/inc_part_miner_test.cc.o.d"
+  "inc_part_miner_test"
+  "inc_part_miner_test.pdb"
+  "inc_part_miner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inc_part_miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

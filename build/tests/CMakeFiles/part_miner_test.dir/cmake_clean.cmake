@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/part_miner_test.dir/part_miner_test.cc.o"
+  "CMakeFiles/part_miner_test.dir/part_miner_test.cc.o.d"
+  "part_miner_test"
+  "part_miner_test.pdb"
+  "part_miner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/part_miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_io_test.dir/state_io_test.cc.o"
+  "CMakeFiles/state_io_test.dir/state_io_test.cc.o.d"
+  "state_io_test"
+  "state_io_test.pdb"
+  "state_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

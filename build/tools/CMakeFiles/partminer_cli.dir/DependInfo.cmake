@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/partminer_cli.cc" "tools/CMakeFiles/partminer_cli.dir/partminer_cli.cc.o" "gcc" "tools/CMakeFiles/partminer_cli.dir/partminer_cli.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_adi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_miner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

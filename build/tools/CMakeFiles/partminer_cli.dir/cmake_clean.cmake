@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partminer_cli.dir/partminer_cli.cc.o"
+  "CMakeFiles/partminer_cli.dir/partminer_cli.cc.o.d"
+  "partminer"
+  "partminer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partminer_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
