@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+
 namespace partminer {
 namespace bench {
 
@@ -21,19 +23,31 @@ Flags::Flags(int argc, char** argv) {
 }
 
 double Flags::GetDouble(const std::string& key, double fallback) const {
+  consumed_.insert(key);
   const auto it = values_.find(key);
   return it == values_.end() ? fallback : std::atof(it->second.c_str());
 }
 
 int Flags::GetInt(const std::string& key, int fallback) const {
+  consumed_.insert(key);
   const auto it = values_.find(key);
   return it == values_.end() ? fallback : std::atoi(it->second.c_str());
 }
 
 std::string Flags::GetString(const std::string& key,
                              const std::string& fallback) const {
+  consumed_.insert(key);
   const auto it = values_.find(key);
   return it == values_.end() ? fallback : it->second;
+}
+
+void Flags::WarnUnconsumed() const {
+  for (const auto& [key, value] : values_) {
+    if (consumed_.count(key) > 0 || warned_.count(key) > 0) continue;
+    warned_.insert(key);
+    std::fprintf(stderr, "warning: unrecognized flag --%s (ignored)\n",
+                 key.c_str());
+  }
 }
 
 WorkloadSpec WorkloadSpec::FromFlags(const Flags& flags) {
@@ -79,6 +93,15 @@ void PrintHeader(const std::string& figure, const std::string& description,
               workload_tag.c_str());
   std::printf("figure,series,x,y\n");
   std::fflush(stdout);
+}
+
+void MaybeWriteMetrics(const Flags& flags, const std::string& figure) {
+  if (!flags.Has("metrics")) return;
+  std::string path = flags.GetString("metrics", "1");
+  if (path == "1") path = figure + "_metrics.json";
+  if (obs::MetricRegistry::Global().WriteJsonFile(path)) {
+    std::fprintf(stderr, "# metrics: %s\n", path.c_str());
+  }
 }
 
 }  // namespace bench

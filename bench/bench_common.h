@@ -2,6 +2,7 @@
 #define PARTMINER_BENCH_BENCH_COMMON_H_
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -12,18 +13,36 @@ namespace partminer {
 namespace bench {
 
 /// Tiny --key=value flag parser shared by the per-figure harnesses.
+///
+/// Every Get*/Has call marks its key as recognized; keys that were passed on
+/// the command line but never consumed are reported by WarnUnconsumed(),
+/// which the destructor also runs — so a typo like --suport=0.05 produces a
+/// warning instead of silently benchmarking the default.
 class Flags {
  public:
   Flags(int argc, char** argv);
+  ~Flags() { WarnUnconsumed(); }
+
+  Flags(const Flags&) = delete;
+  Flags& operator=(const Flags&) = delete;
 
   double GetDouble(const std::string& key, double fallback) const;
   int GetInt(const std::string& key, int fallback) const;
   std::string GetString(const std::string& key,
                         const std::string& fallback) const;
-  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  bool Has(const std::string& key) const {
+    consumed_.insert(key);
+    return values_.count(key) > 0;
+  }
+
+  /// Warns (stderr, once per key) about flags never consumed by any
+  /// Get*/Has call. Runs automatically at destruction.
+  void WarnUnconsumed() const;
 
  private:
   std::map<std::string, std::string> values_;
+  mutable std::set<std::string> consumed_;
+  mutable std::set<std::string> warned_;
 };
 
 /// Workload scaled down from the paper's dataset tags (see EXPERIMENTS.md).
@@ -58,6 +77,13 @@ void PrintRow(const std::string& figure, const std::string& series,
 /// reference line.
 void PrintHeader(const std::string& figure, const std::string& description,
                  const std::string& workload_tag);
+
+/// Per-phase metrics export: with --metrics[=path] on the harness command
+/// line, dumps the process metrics registry (counters for extensions,
+/// isomorphism tests, page I/O, merge/verify work, and the phase-latency
+/// histograms) as JSON after the runs. A bare --metrics writes
+/// <figure>_metrics.json next to the CSV output.
+void MaybeWriteMetrics(const Flags& flags, const std::string& figure);
 
 }  // namespace bench
 }  // namespace partminer

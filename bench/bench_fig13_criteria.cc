@@ -134,5 +134,6 @@ int main(int argc, char** argv) {
   if (mode == "dynamic" || mode == "both") {
     RunDynamic(spec, k, update_fraction, io_delay_us);
   }
+  MaybeWriteMetrics(flags, "fig13");
   return 0;
 }

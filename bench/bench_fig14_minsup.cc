@@ -116,5 +116,6 @@ int main(int argc, char** argv) {
   if (mode == "dynamic" || mode == "both") {
     RunDynamic(spec, k, update_fraction, io_delay_us);
   }
+  MaybeWriteMetrics(flags, "fig14");
   return 0;
 }

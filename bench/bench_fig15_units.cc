@@ -110,5 +110,6 @@ int main(int argc, char** argv) {
   if (mode == "dynamic" || mode == "both") {
     RunDynamic(spec, sup, update_fraction, io_delay_us);
   }
+  MaybeWriteMetrics(flags, "fig15");
   return 0;
 }

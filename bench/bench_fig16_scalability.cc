@@ -81,5 +81,6 @@ int main(int argc, char** argv) {
       RunPoint("fig16b", spec.d, spec, sup, k, io_delay_us);
     }
   }
+  MaybeWriteMetrics(flags, "fig16");
   return 0;
 }

@@ -102,5 +102,6 @@ int main(int argc, char** argv) {
     RunSweep("fig17b", spec, sup, k, io_delay_us,
              {UpdateKind::kAddEdge, UpdateKind::kAddVertex});
   }
+  MaybeWriteMetrics(flags, "fig17");
   return 0;
 }

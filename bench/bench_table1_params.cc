@@ -3,7 +3,7 @@
 // values this reproduction uses (and verifies the generator honors them on
 // a sample workload).
 //
-// Flags: --scale, --d/--t/--n/--l/--i/--seed.
+// Flags: --scale, --d/--t/--n/--l/--i/--seed, --metrics[=path].
 
 #include <cstdio>
 
@@ -31,5 +31,6 @@ int main(int argc, char** argv) {
   const double avg_edges = static_cast<double>(db.TotalEdges()) / db.size();
   std::printf("# generated %s: %d graphs, avg %.1f edges/graph\n",
               spec.Tag().c_str(), db.size(), avg_edges);
+  MaybeWriteMetrics(flags, "table1");
   return 0;
 }

@@ -7,6 +7,8 @@
 #include "common/logging.h"
 #include "common/timing.h"
 #include "miner/gspan.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace partminer {
 
@@ -33,15 +35,20 @@ AdiMine::AdiMine(const AdiMineOptions& options) {
 AdiMine::~AdiMine() = default;
 
 Status AdiMine::BuildIndex(const GraphDatabase& db) {
+  PM_TRACE_SPAN("adi.build_index", {{"graphs", db.size()}});
+  Stopwatch watch;
   pool_->Clear();
   PARTMINER_RETURN_IF_ERROR(disk_.Reset());
   PARTMINER_RETURN_IF_ERROR(index_->Build(db));
   built_ = true;
+  PM_METRIC_HISTOGRAM("adi.phase.build_index_ms")
+      ->Observe(watch.ElapsedSeconds() * 1e3);
   return Status::Ok();
 }
 
 PatternSet AdiMine::Mine(const MinerOptions& options) {
   PM_CHECK(built_) << "Mine() before BuildIndex()";
+  PM_TRACE_SPAN("adi.mine", {{"support", options.min_support}});
 
   // Scan phase: the edge table tells which graphs contain any frequent
   // edge; only those are decoded from their pages.

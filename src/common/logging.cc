@@ -1,6 +1,11 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <cstdint>
+#include <cstring>
+#include <ctime>
+
 #include <chrono>
 
 namespace partminer {
@@ -8,7 +13,32 @@ namespace internal_logging {
 
 namespace {
 
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+/// Parses PM_LOG_LEVEL: a level name (debug/info/warning|warn/error, any
+/// case) or a numeric level 0-3. Anything else falls back to the default.
+int ParseLevel(const char* text, int fallback) {
+  if (text == nullptr || *text == '\0') return fallback;
+  std::string lower;
+  for (const char* p = text; *p != '\0'; ++p) {
+    lower.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (lower == "debug" || lower == "0") return static_cast<int>(LogLevel::kDebug);
+  if (lower == "info" || lower == "1") return static_cast<int>(LogLevel::kInfo);
+  if (lower == "warning" || lower == "warn" || lower == "2") {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  if (lower == "error" || lower == "3") return static_cast<int>(LogLevel::kError);
+  return fallback;
+}
+
+/// The minimum level lives behind a function so the PM_LOG_LEVEL environment
+/// override is read exactly once, on first use, regardless of static
+/// initialization order across translation units.
+std::atomic<int>& MinLevel() {
+  static std::atomic<int> level{ParseLevel(
+      std::getenv("PM_LOG_LEVEL"), static_cast<int>(LogLevel::kWarning))};
+  return level;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -20,19 +50,61 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+/// Compact per-process thread id: 1 for the first logging thread, 2 for the
+/// second, ... Stable for the thread's lifetime and much shorter than
+/// std::thread::id in log output.
+uint32_t ThisThreadLogId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed) + 1;
+  return id;
+}
+
+/// ISO-8601 UTC timestamp with millisecond precision,
+/// e.g. "2026-08-05T12:34:56.789Z".
+void FormatTimestamp(char* out, size_t out_size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm utc{};
+  ::gmtime_r(&seconds, &utc);
+  char date[32];
+  std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S", &utc);
+  std::snprintf(out, out_size, "%s.%03dZ", date, static_cast<int>(millis));
+}
+
+/// Formats the full line into one buffer and hands it to stderr with a
+/// single fwrite, so lines from concurrent threads never interleave
+/// mid-line (POSIX guarantees atomicity of the underlying write for
+/// ordinary pipe-sized payloads; a single stdio call keeps the user-space
+/// buffering from splitting it either).
 void Emit(LogLevel level, const std::string& text) {
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), text.c_str());
+  char stamp[48];
+  FormatTimestamp(stamp, sizeof(stamp));
+  std::string line;
+  line.reserve(text.size() + 64);
+  line.append(stamp);
+  line.append(" [");
+  line.append(LevelName(level));
+  line.append("] [tid ");
+  line.append(std::to_string(ThisThreadLogId()));
+  line.append("] ");
+  line.append(text);
+  line.push_back('\n');
+  std::fwrite(line.data(), 1, line.size(), stderr);
   std::fflush(stderr);
 }
 
 }  // namespace
 
 LogLevel GetMinLogLevel() {
-  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+  return static_cast<LogLevel>(MinLevel().load(std::memory_order_relaxed));
 }
 
 void SetMinLogLevel(LogLevel level) {
-  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  MinLevel().store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)

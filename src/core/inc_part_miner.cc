@@ -8,6 +8,8 @@
 #include "core/merge_join.h"
 #include "core/verify.h"
 #include "graph/isomorphism.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace partminer {
 
@@ -51,6 +53,10 @@ IncPartMinerResult IncPartMiner::Update(PartMiner* state,
                                         const GraphDatabase& new_db,
                                         const UpdateLog& log) {
   PM_CHECK(state->mined()) << "IncPartMiner requires a completed Mine()";
+  PM_TRACE_SPAN("inc_part_miner.update",
+                {{"graphs", new_db.size()},
+                 {"updated_graphs", log.updated_graphs.size()}});
+  PM_METRIC_COUNTER("partminer.update_runs")->Increment();
   IncPartMinerResult result;
 
   PartitionedDatabase& part = state->mutable_partitioned();
@@ -63,10 +69,17 @@ IncPartMinerResult IncPartMiner::Update(PartMiner* state,
   // Route the updates: extend assignments to new vertices, then compute the
   // setword of units that must be re-mined (Figure 12 input `set`).
   Stopwatch route_watch;
-  part.ExtendAssignments(new_db);
-  const SetWord touched = part.TouchedUnits(new_db, log.touched_vertices);
-  result.remined_units = touched;
+  {
+    PM_TRACE_SPAN("route", {{"touched_vertices", log.touched_vertices.size()}});
+    part.ExtendAssignments(new_db);
+    const SetWord touched_units = part.TouchedUnits(new_db,
+                                                    log.touched_vertices);
+    result.remined_units = touched_units;
+  }
+  const SetWord& touched = result.remined_units;
   result.route_seconds = route_watch.ElapsedSeconds();
+  PM_METRIC_HISTOGRAM("partminer.phase.route_ms")
+      ->Observe(result.route_seconds * 1e3);
 
   // Per-unit changed-graph lists: unit j must reconsider graph i only when
   // an update touched a vertex whose edges reach unit j in graph i. This is
@@ -98,6 +111,9 @@ IncPartMinerResult IncPartMiner::Update(PartMiner* state,
     const int unit_index = tree[node].lo;
     if (!touched.Test(unit_index)) continue;
 
+    PM_TRACE_SPAN("inc_unit_mine",
+                  {{"unit", unit_index},
+                   {"changed_graphs", unit_changed[unit_index].size()}});
     Stopwatch watch;
     const GraphDatabase unit_db = part.MaterializeUnit(new_db, unit_index);
     MergeJoinOptions leaf_options;
@@ -147,6 +163,8 @@ IncPartMinerResult IncPartMiner::Update(PartMiner* state,
                   [](bool dirty) { return dirty; });
   if (anything_dirty && tree[part.root()].left != -1) {
     const int root = part.root();
+    PM_TRACE_SPAN("inc_merge_root",
+                  {{"candidates", node_patterns[root].size()}});
     // The root's recombined database is the database itself (the merge tree
     // covers every unit), so no materialization is needed.
     MergeJoinOptions mj;
@@ -160,6 +178,8 @@ IncPartMinerResult IncPartMiner::Update(PartMiner* state,
                                        &node_frontiers[root]);
   }
   result.merge_seconds = merge_watch.ElapsedSeconds();
+  PM_METRIC_HISTOGRAM("partminer.phase.merge_ms")
+      ->Observe(result.merge_seconds * 1e3);
 
   // Delta verification: candidates are the merged root set plus everything
   // previously frequent (so frequent->infrequent transitions are detected).
@@ -173,10 +193,18 @@ IncPartMinerResult IncPartMiner::Update(PartMiner* state,
     stale.exact_tids = false;
     candidates.Upsert(std::move(stale));
   }
-  PatternSet fresh_verified =
-      VerifyDelta(new_db, candidates, old_verified, log.updated_graphs,
-                  root_support, &result.verify_stats);
+  PatternSet fresh_verified;
+  {
+    PM_TRACE_SPAN("verify_delta",
+                  {{"candidates", candidates.size()},
+                   {"support", root_support}});
+    fresh_verified =
+        VerifyDelta(new_db, candidates, old_verified, log.updated_graphs,
+                    root_support, &result.verify_stats);
+  }
   result.verify_seconds = verify_watch.ElapsedSeconds();
+  PM_METRIC_HISTOGRAM("partminer.phase.verify_ms")
+      ->Observe(result.verify_seconds * 1e3);
 
   // Classification (Section 4.5): exact, from the two verified sets.
   for (const PatternInfo& p : fresh_verified.patterns()) {

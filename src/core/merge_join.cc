@@ -13,6 +13,7 @@
 #include "graph/isomorphism.h"
 #include "miner/engine.h"
 #include "miner/gspan.h"
+#include "obs/metrics.h"
 
 namespace partminer {
 
@@ -26,13 +27,24 @@ void MergeJoinStats::Accumulate(const MergeJoinStats& other) {
   spanning_found += other.spanning_found;
 }
 
-
+void MergeJoinStats::PublishToRegistry() const {
+  PM_METRIC_COUNTER("merge.inherited_patterns")->Add(inherited_patterns);
+  PM_METRIC_COUNTER("merge.cached_patterns")->Add(cached_patterns);
+  PM_METRIC_COUNTER("merge.delta_recounts")->Add(delta_recounts);
+  PM_METRIC_COUNTER("merge.candidates_generated")->Add(candidates_generated);
+  PM_METRIC_COUNTER("merge.candidates_counted")->Add(candidates_counted);
+  PM_METRIC_COUNTER("merge.candidates_skipped_known")
+      ->Add(candidates_skipped_known);
+  PM_METRIC_COUNTER("merge.spanning_found")->Add(spanning_found);
+}
 
 PatternSet MergeJoin(const GraphDatabase& node_db, const PatternSet& left,
                      const PatternSet& right, const MergeJoinOptions& options,
                      MergeJoinStats* stats, NodeFrontier* frontier_out) {
+  // Per-call deltas accumulate locally, reach the registry once at the end,
+  // and fold into the caller's struct (keeping the existing struct API).
   MergeJoinStats local_stats;
-  MergeJoinStats* s = stats != nullptr ? stats : &local_stats;
+  MergeJoinStats* s = &local_stats;
   s->inherited_patterns += left.size() + right.size();
 
   // Exact node-level recovery: DFS-code sweep of the recombined database at
@@ -56,6 +68,8 @@ PatternSet MergeJoin(const GraphDatabase& node_db, const PatternSet& left,
       ++s->spanning_found;  // Genuinely cross-partition discovery.
     }
   }
+  local_stats.PublishToRegistry();
+  if (stats != nullptr) stats->Accumulate(local_stats);
   return out;
 }
 
@@ -264,8 +278,18 @@ PatternSet IncMergeJoin(const GraphDatabase& node_db, const PatternSet& cached,
                         const MergeJoinOptions& options,
                         MergeJoinStats* stats, NodeFrontier* frontier) {
   MergeJoinStats local_stats;
-  MergeJoinStats* s = stats != nullptr ? stats : &local_stats;
+  MergeJoinStats* s = &local_stats;
   s->cached_patterns += cached.size();
+  // Publish the local deltas to the registry and the caller's struct on
+  // every return path below.
+  struct Publisher {
+    MergeJoinStats* local;
+    MergeJoinStats* caller;
+    ~Publisher() {
+      local->PublishToRegistry();
+      if (caller != nullptr) caller->Accumulate(*local);
+    }
+  } publisher{&local_stats, stats};
 
   std::vector<int> updated = updated_graphs;
   std::sort(updated.begin(), updated.end());

@@ -37,6 +37,10 @@ struct MergeJoinStats {
   int64_t spanning_found = 0;       // Newly discovered frequent patterns.
 
   void Accumulate(const MergeJoinStats& other);
+
+  /// Adds these values to the process metrics registry (merge.* counters).
+  /// MergeJoin/IncMergeJoin publish their per-call deltas automatically.
+  void PublishToRegistry() const;
 };
 
 /// The merge-join of Section 4.3, specialized to this implementation's

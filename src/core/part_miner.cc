@@ -9,6 +9,8 @@
 #include "common/timing.h"
 #include "miner/gaston.h"
 #include "miner/gspan.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace partminer {
 
@@ -63,14 +65,24 @@ std::unique_ptr<FrequentSubgraphMiner> PartMiner::MakeUnitMiner() const {
 }
 
 PartMinerResult PartMiner::Mine(const GraphDatabase& db) {
+  PM_TRACE_SPAN("part_miner.mine",
+                {{"graphs", db.size()},
+                 {"k", options_.partition.k},
+                 {"threads", options_.unit_mining_threads}});
+  PM_METRIC_COUNTER("partminer.mine_runs")->Increment();
   PartMinerResult result;
   root_support_ = ResolveSupport(db.size());
   result.min_support_count = root_support_;
 
   // Phase 1: divide the database into k units (Figure 6).
   Stopwatch partition_watch;
-  partitioned_ = PartitionedDatabase::Create(db, options_.partition);
+  {
+    PM_TRACE_SPAN("partition", {{"k", options_.partition.k}});
+    partitioned_ = PartitionedDatabase::Create(db, options_.partition);
+  }
   result.partition_seconds = partition_watch.ElapsedSeconds();
+  PM_METRIC_HISTOGRAM("partminer.phase.partition_ms")
+      ->Observe(result.partition_seconds * 1e3);
 
   const std::vector<MergeTreeNode>& tree = partitioned_.tree();
   node_patterns_.assign(tree.size(), PatternSet());
@@ -87,6 +99,8 @@ PartMinerResult PartMiner::Mine(const GraphDatabase& db) {
   }
   auto mine_unit = [&](int node) {
     const int unit_index = tree[node].lo;
+    PM_TRACE_SPAN("unit_mine",
+                  {{"unit", unit_index}, {"support", NodeSupport(node)}});
     Stopwatch watch;
     const GraphDatabase unit_db = partitioned_.MaterializeUnit(db, unit_index);
     MinerOptions miner_options;
@@ -97,49 +111,68 @@ PartMinerResult PartMiner::Mine(const GraphDatabase& db) {
     std::unique_ptr<FrequentSubgraphMiner> unit_miner = MakeUnitMiner();
     node_patterns_[node] = unit_miner->Mine(unit_db, miner_options);
     result.unit_mining_seconds[unit_index] = watch.ElapsedSeconds();
+    PM_METRIC_HISTOGRAM("partminer.phase.unit_mine_ms")
+        ->Observe(result.unit_mining_seconds[unit_index] * 1e3);
   };
-  if (options_.unit_mining_threads > 0) {
-    std::vector<std::thread> workers;
-    std::atomic<size_t> next{0};
-    const int thread_count =
-        std::min<int>(options_.unit_mining_threads,
-                      static_cast<int>(leaf_nodes.size()));
-    for (int t = 0; t < thread_count; ++t) {
-      workers.emplace_back([&]() {
-        for (size_t i = next.fetch_add(1); i < leaf_nodes.size();
-             i = next.fetch_add(1)) {
-          mine_unit(leaf_nodes[i]);
-        }
-      });
+  {
+    PM_TRACE_SPAN("unit_mining", {{"units", leaf_nodes.size()}});
+    if (options_.unit_mining_threads > 0) {
+      std::vector<std::thread> workers;
+      std::atomic<size_t> next{0};
+      const int thread_count =
+          std::min<int>(options_.unit_mining_threads,
+                        static_cast<int>(leaf_nodes.size()));
+      for (int t = 0; t < thread_count; ++t) {
+        workers.emplace_back([&]() {
+          for (size_t i = next.fetch_add(1); i < leaf_nodes.size();
+               i = next.fetch_add(1)) {
+            mine_unit(leaf_nodes[i]);
+          }
+        });
+      }
+      for (std::thread& w : workers) w.join();
+    } else {
+      for (const int node : leaf_nodes) mine_unit(node);
     }
-    for (std::thread& w : workers) w.join();
-  } else {
-    for (const int node : leaf_nodes) mine_unit(node);
   }
 
   // Phase 2b: merge-join bottom-up (Figure 11 lines 9-17). Nodes are stored
   // preorder, so iterating in reverse index order visits children first.
   Stopwatch merge_watch;
-  for (int node = static_cast<int>(tree.size()) - 1; node >= 0; --node) {
-    if (tree[node].left == -1) continue;  // Leaf.
-    const GraphDatabase node_db =
-        partitioned_.Materialize(db, tree[node].lo, tree[node].hi);
-    MergeJoinOptions mj;
-    mj.min_support = NodeSupport(node);
-    mj.max_edges = options_.max_edges;
-    node_patterns_[node] =
-        MergeJoin(node_db, node_patterns_[tree[node].left],
-                  node_patterns_[tree[node].right], mj, &result.merge_stats,
-                  &node_frontiers_[node]);
+  {
+    PM_TRACE_SPAN("merge");
+    for (int node = static_cast<int>(tree.size()) - 1; node >= 0; --node) {
+      if (tree[node].left == -1) continue;  // Leaf.
+      PM_TRACE_SPAN("merge_node",
+                    {{"node", node}, {"depth", tree[node].depth}});
+      const GraphDatabase node_db =
+          partitioned_.Materialize(db, tree[node].lo, tree[node].hi);
+      MergeJoinOptions mj;
+      mj.min_support = NodeSupport(node);
+      mj.max_edges = options_.max_edges;
+      node_patterns_[node] =
+          MergeJoin(node_db, node_patterns_[tree[node].left],
+                    node_patterns_[tree[node].right], mj, &result.merge_stats,
+                    &node_frontiers_[node]);
+    }
   }
   result.merge_seconds = merge_watch.ElapsedSeconds();
+  PM_METRIC_HISTOGRAM("partminer.phase.merge_ms")
+      ->Observe(result.merge_seconds * 1e3);
 
   // Exact verification at the root: inherited patterns carry child-level
   // supports; this recount makes the output exact at the requested support.
   Stopwatch verify_watch;
-  verified_ = VerifyExact(db, node_patterns_[partitioned_.root()],
-                          root_support_, &result.verify_stats);
+  {
+    PM_TRACE_SPAN("verify",
+                  {{"candidates", node_patterns_[partitioned_.root()].size()},
+                   {"support", root_support_}});
+    verified_ = VerifyExact(db, node_patterns_[partitioned_.root()],
+                            root_support_, &result.verify_stats);
+  }
   result.verify_seconds = verify_watch.ElapsedSeconds();
+  PM_METRIC_HISTOGRAM("partminer.phase.verify_ms")
+      ->Observe(result.verify_seconds * 1e3);
 
   result.patterns = verified_;
   mined_ = true;

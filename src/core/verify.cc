@@ -7,8 +7,25 @@
 #include "core/merge_join.h"
 #include "graph/canonical.h"
 #include "graph/isomorphism.h"
+#include "obs/metrics.h"
 
 namespace partminer {
+
+void VerifyStats::Accumulate(const VerifyStats& other) {
+  patterns_in += other.patterns_in;
+  patterns_kept += other.patterns_kept;
+  full_scans += other.full_scans;
+  graphs_examined += other.graphs_examined;
+  apriori_dropped += other.apriori_dropped;
+}
+
+void VerifyStats::PublishToRegistry() const {
+  PM_METRIC_COUNTER("verify.patterns_in")->Add(patterns_in);
+  PM_METRIC_COUNTER("verify.patterns_kept")->Add(patterns_kept);
+  PM_METRIC_COUNTER("verify.full_scans")->Add(full_scans);
+  PM_METRIC_COUNTER("verify.graphs_examined")->Add(graphs_examined);
+  PM_METRIC_COUNTER("verify.apriori_dropped")->Add(apriori_dropped);
+}
 
 namespace {
 
@@ -110,8 +127,10 @@ bool CountPattern(const GraphDatabase& db, const PatternInfo& candidate,
 PatternSet Verify(const GraphDatabase& db, const PatternSet& candidates,
                   int min_support, const DeltaContext* delta,
                   VerifyStats* stats) {
+  // Per-call deltas accumulate locally, reach the registry once at the end,
+  // and fold into the caller's struct (keeping the existing struct API).
   VerifyStats local;
-  VerifyStats* s = stats != nullptr ? stats : &local;
+  VerifyStats* s = &local;
   s->patterns_in += candidates.size();
 
   PatternSet verified;
@@ -125,6 +144,8 @@ PatternSet Verify(const GraphDatabase& db, const PatternSet& candidates,
       }
     }
   }
+  local.PublishToRegistry();
+  if (stats != nullptr) stats->Accumulate(local);
   return verified;
 }
 

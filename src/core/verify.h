@@ -15,6 +15,12 @@ struct VerifyStats {
   int64_t full_scans = 0;       // Patterns counted against the whole db.
   int64_t graphs_examined = 0;  // Total subgraph-iso host graphs examined.
   int64_t apriori_dropped = 0;  // Dropped without counting (parent missing).
+
+  void Accumulate(const VerifyStats& other);
+
+  /// Adds these values to the process metrics registry (verify.* counters).
+  /// VerifyExact/VerifyDelta publish their per-call deltas automatically.
+  void PublishToRegistry() const;
 };
 
 /// Exact root verification: re-counts every candidate pattern of `candidates`

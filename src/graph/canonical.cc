@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace partminer {
 
@@ -290,6 +291,7 @@ DfsCode MinimumDfsCodeExhaustive(const Graph& graph) {
 }
 
 bool IsMinimalDfsCode(const DfsCode& code) {
+  PM_METRIC_COUNTER("miner.minimality_checks")->Increment();
   if (code.empty()) return true;
   const Graph g = code.ToGraph();
   int comparison = 1;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace partminer {
 
@@ -100,6 +101,7 @@ bool SubgraphMatcher::MatchFrom(const Graph& host, int position,
 }
 
 bool SubgraphMatcher::Matches(const Graph& host) const {
+  PM_METRIC_COUNTER("iso.subgraph_tests")->Increment();
   if (host.VertexCount() < pattern_.VertexCount() ||
       host.EdgeCount() < pattern_.EdgeCount()) {
     return false;

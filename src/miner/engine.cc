@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace partminer {
 namespace engine {
@@ -50,6 +51,12 @@ ExtensionMap CollectRootExtensions(const GraphDatabase& db) {
       }
     }
   }
+  int64_t embeddings = 0;
+  for (const auto& [tuple, projected] : roots) {
+    embeddings += static_cast<int64_t>(projected.size());
+  }
+  PM_METRIC_COUNTER("miner.root_extension_groups")->Add(roots.size());
+  PM_METRIC_COUNTER("miner.root_extension_embeddings")->Add(embeddings);
   return roots;
 }
 
@@ -121,6 +128,18 @@ ExtensionMap CollectExtensions(const GraphDatabase& db, const DfsCode& code,
       }
     }
   }
+  int64_t embeddings = 0;
+  for (const auto& [tuple, child] : extensions) {
+    embeddings += static_cast<int64_t>(child.size());
+  }
+  PM_METRIC_COUNTER("miner.rightmost_extension_groups")
+      ->Add(extensions.size());
+  PM_METRIC_COUNTER("miner.rightmost_extension_embeddings")->Add(embeddings);
+  // Each walked embedding is one subgraph-isomorphism occurrence whose
+  // neighborhood was scanned — the projection-based counterpart of
+  // iso.subgraph_tests on the explicit-matcher paths.
+  PM_METRIC_COUNTER("iso.embedding_extensions")
+      ->Add(static_cast<int64_t>(projected.size()));
   return extensions;
 }
 
@@ -214,6 +233,7 @@ Projected ProjectCode(const DfsCode& code, const GraphDatabase& db,
       }
     }
   }
+  PM_METRIC_COUNTER("miner.embeddings_projected")->Add(out.size());
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "graph/canonical.h"
 #include "miner/engine.h"
+#include "obs/metrics.h"
 
 namespace partminer {
 
@@ -139,6 +140,7 @@ struct GastonContext {
 bool CheckMinimal(GastonContext* ctx, const DfsCode& code, Phase phase) {
   if (phase == Phase::kPath) {
     ++ctx->stats->path_fast_checks;
+    PM_METRIC_COUNTER("miner.minimality_checks")->Increment();
     return IsMinimalPathCode(code);
   }
   ++ctx->stats->generic_min_checks;
@@ -217,6 +219,12 @@ PatternSet GastonMiner::Mine(const GraphDatabase& db,
     }
     code.PopBack();
   }
+  PM_METRIC_COUNTER("gaston.frequent_paths")->Add(stats_.frequent_paths);
+  PM_METRIC_COUNTER("gaston.frequent_trees")->Add(stats_.frequent_trees);
+  PM_METRIC_COUNTER("gaston.frequent_cyclic")->Add(stats_.frequent_cyclic);
+  PM_METRIC_COUNTER("gaston.path_fast_checks")->Add(stats_.path_fast_checks);
+  PM_METRIC_COUNTER("gaston.generic_min_checks")
+      ->Add(stats_.generic_min_checks);
   return out;
 }
 

@@ -1,0 +1,205 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace partminer {
+namespace obs {
+
+namespace {
+
+/// Escapes a metric name for embedding in a JSON string literal.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Renders a double without trailing-zero noise ("2.5", "100", "0.0001").
+std::string NumberToString(double v) {
+  if (v == static_cast<int64_t>(v) && std::abs(v) < 1e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  PM_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be ascending";
+}
+
+void Histogram::Observe(double value) {
+  // lower_bound: first bound >= value, so a boundary observation counts in
+  // its own bucket (v <= bounds[i], Prometheus "le" semantics).
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_micros_.fetch_add(static_cast<int64_t>(value * 1e6),
+                        std::memory_order_relaxed);
+}
+
+double Histogram::sum() const {
+  return static_cast<double>(sum_micros_.load(std::memory_order_relaxed)) /
+         1e6;
+}
+
+std::vector<int64_t> Histogram::bucket_counts() const {
+  std::vector<int64_t> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_micros_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::DefaultLatencyBoundsMs() {
+  // 0.1ms .. 102.4s in decades of 1/2/5 — covers a unit mine on a toy DB up
+  // to a full paper-scale run.
+  return {0.1, 0.2, 0.5, 1,    2,    5,    10,    20,    50,    100,   200,
+          500, 1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5};
+}
+
+std::vector<double> Histogram::DefaultSizeBounds() {
+  std::vector<double> bounds;
+  for (double b = 1; b <= 1 << 20; b *= 4) bounds.push_back(b);
+  return bounds;
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* const registry = new MetricRegistry();
+  return *registry;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name,
+                                        std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+void MetricRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string MetricRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+       << "\": " << c->value();
+    first = false;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+       << "\": " << g->value();
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name) << "\": {"
+       << "\"count\": " << h->count() << ", \"sum\": "
+       << NumberToString(h->sum()) << ", \"buckets\": [";
+    const std::vector<int64_t> counts = h->bucket_counts();
+    const std::vector<double>& bounds = h->bounds();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "{\"le\": "
+         << (i < bounds.size() ? NumberToString(bounds[i]) : "\"inf\"")
+         << ", \"count\": " << counts[i] << "}";
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+std::string MetricRegistry::ToText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    os << name << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << name << " " << g->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << name << " count=" << h->count() << " sum=" << NumberToString(
+        h->sum());
+    if (h->count() > 0) {
+      os << " mean=" << NumberToString(h->sum() / h->count());
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+bool MetricRegistry::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    PM_LOG(Error) << "cannot open metrics file " << path;
+    return false;
+  }
+  out << ToJson();
+  return static_cast<bool>(out);
+}
+
+}  // namespace obs
+}  // namespace partminer

@@ -1,0 +1,151 @@
+#ifndef PARTMINER_OBS_METRICS_H_
+#define PARTMINER_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace partminer {
+namespace obs {
+
+/// Process-wide observability metrics (see DESIGN.md "Observability").
+///
+/// Three metric kinds, all addressed by string name through MetricRegistry:
+///  - Counter:   monotonically increasing event count (extensions collected,
+///               pages read, ...).
+///  - Gauge:     last-written value (configuration echoes, pool sizes, ...).
+///  - Histogram: fixed-bucket distribution of observations (phase latencies,
+///               per-unit mining times, ...).
+///
+/// Registered metric objects are never destroyed or re-created until process
+/// exit, so a caller may look a handle up once and cache the pointer; the
+/// PM_METRIC_* macros below do exactly that through a function-local static.
+/// All mutation paths are lock-free atomics, safe for concurrent unit-mining
+/// workers. ResetAll() zeroes values but keeps every handle valid.
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-value gauge.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations v <= bounds[i]
+/// (first matching bucket); one implicit overflow bucket counts the rest.
+/// Bounds are fixed at creation and shared by every thread.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<int64_t> bucket_counts() const;
+  void Reset();
+
+  /// Default latency bounds in milliseconds: 0.1ms .. ~100s, exponential.
+  static std::vector<double> DefaultLatencyBoundsMs();
+  /// Default size bounds: 1 .. 1M, powers of four.
+  static std::vector<double> DefaultSizeBounds();
+
+ private:
+  std::vector<double> bounds_;                    // Ascending.
+  std::vector<std::atomic<int64_t>> buckets_;     // bounds_.size() + 1.
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_micros_{0};  // Sum in 1e-6 units (atomic int).
+};
+
+/// Name -> metric map with stable handles. One process-wide instance
+/// (Global()); separate instances exist only for tests.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  static MetricRegistry& Global();
+
+  /// Finds or creates. The returned pointer is stable for the registry's
+  /// lifetime; creation is mutex-guarded, mutation lock-free.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` is consulted only on first creation of `name`.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+  Histogram* GetHistogram(const std::string& name) {
+    return GetHistogram(name, Histogram::DefaultLatencyBoundsMs());
+  }
+
+  /// Zeroes every metric value; handles stay valid. Used by benchmarks and
+  /// tests to delimit measurement windows.
+  void ResetAll();
+
+  /// JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string ToJson() const;
+  /// Sorted human-readable listing, one metric per line.
+  std::string ToText() const;
+  /// Writes ToJson() to `path`; returns false (and logs) on I/O failure.
+  bool WriteJsonFile(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;  // Guards the maps, not the metric values.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace partminer
+
+/// Cached-handle accessors: resolve the name once per call site, then reuse
+/// the pointer. `name` must be a string literal (one site, one metric).
+#define PM_METRIC_COUNTER(name)                                        \
+  ([]() -> ::partminer::obs::Counter* {                                \
+    static ::partminer::obs::Counter* const pm_metric_handle =         \
+        ::partminer::obs::MetricRegistry::Global().GetCounter(name);   \
+    return pm_metric_handle;                                           \
+  }())
+
+#define PM_METRIC_GAUGE(name)                                          \
+  ([]() -> ::partminer::obs::Gauge* {                                  \
+    static ::partminer::obs::Gauge* const pm_metric_handle =           \
+        ::partminer::obs::MetricRegistry::Global().GetGauge(name);     \
+    return pm_metric_handle;                                           \
+  }())
+
+#define PM_METRIC_HISTOGRAM(name)                                      \
+  ([]() -> ::partminer::obs::Histogram* {                              \
+    static ::partminer::obs::Histogram* const pm_metric_handle =       \
+        ::partminer::obs::MetricRegistry::Global().GetHistogram(name); \
+    return pm_metric_handle;                                           \
+  }())
+
+#endif  // PARTMINER_OBS_METRICS_H_

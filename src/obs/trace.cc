@@ -1,0 +1,155 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace partminer {
+namespace obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendArgJson(const TraceArg& arg, std::ostringstream* os) {
+  *os << "\"" << JsonEscape(arg.key) << "\":";
+  if (arg.is_string) {
+    *os << "\"" << JsonEscape(arg.text) << "\"";
+  } else if (arg.is_double) {
+    *os << arg.real;
+  } else {
+    *os << arg.number;
+  }
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* const tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::Stop() { enabled_.store(false, std::memory_order_release); }
+
+int64_t Tracer::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
+  // One buffer per thread for the process lifetime; buffers are never
+  // removed, so the cached pointer outlives any thread and Snapshot() can
+  // safely walk the list.
+  thread_local ThreadBuffer* cached = nullptr;
+  if (cached == nullptr) {
+    auto buffer = std::make_unique<ThreadBuffer>();
+    cached = buffer.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    buffer->tid = static_cast<uint32_t>(buffers_.size() + 1);
+    buffers_.push_back(std::move(buffer));
+  }
+  return cached;
+}
+
+void Tracer::RecordComplete(const char* name, int64_t ts_us, int64_t dur_us,
+                            std::vector<TraceArg> args) {
+  if (!enabled()) return;  // Stopped between span begin and end.
+  ThreadBuffer* buffer = BufferForThisThread();
+  TraceEvent event;
+  event.name = name;
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.tid = buffer->tid;
+  event.args = std::move(args);
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::unique_ptr<ThreadBuffer>& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              return a.dur_us > b.dur_us;  // Parents before children.
+            });
+  return out;
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    os << (first ? "" : ",") << "\n{\"name\":\"" << JsonEscape(e.name)
+       << "\",\"cat\":\"partminer\",\"ph\":\"X\",\"ts\":" << e.ts_us
+       << ",\"dur\":" << e.dur_us << ",\"pid\":1,\"tid\":" << e.tid;
+    if (!e.args.empty()) {
+      os << ",\"args\":{";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) os << ",";
+        AppendArgJson(e.args[i], &os);
+      }
+      os << "}";
+    }
+    os << "}";
+    first = false;
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return os.str();
+}
+
+bool Tracer::WriteChromeTraceFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    PM_LOG(Error) << "cannot open trace file " << path;
+    return false;
+  }
+  out << ToChromeTraceJson();
+  return static_cast<bool>(out);
+}
+
+}  // namespace obs
+}  // namespace partminer

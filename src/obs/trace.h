@@ -1,0 +1,159 @@
+#ifndef PARTMINER_OBS_TRACE_H_
+#define PARTMINER_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace partminer {
+namespace obs {
+
+/// Hierarchical phase tracer: RAII spans record begin/end on a steady clock
+/// into per-thread buffers and export Chrome trace-event JSON ("X" complete
+/// events) that Perfetto / chrome://tracing loads directly.
+///
+/// Tracing is off by default. When disabled, PM_TRACE_SPAN costs one relaxed
+/// atomic load and writes nothing — the mining hot paths keep it permanently
+/// in place. When enabled, each span pays one clock read at entry and one
+/// clock read plus a buffer append (under an uncontended per-thread mutex)
+/// at exit.
+///
+/// Span nesting is implicit: spans on one thread form a stack (RAII), which
+/// the trace viewer reconstructs from the contained time intervals.
+
+/// One span argument. Keys must be string literals; values are numbers or
+/// strings and render into the Chrome event's "args" object.
+struct TraceArg {
+  TraceArg(const char* k, int64_t v) : key(k), number(v) {}
+  TraceArg(const char* k, int v) : key(k), number(v) {}
+  TraceArg(const char* k, uint32_t v) : key(k), number(v) {}
+  TraceArg(const char* k, size_t v)
+      : key(k), number(static_cast<int64_t>(v)) {}
+  TraceArg(const char* k, double v)
+      : key(k), number(0), is_double(true), real(v) {}
+  TraceArg(const char* k, const char* v)
+      : key(k), number(0), is_string(true), text(v) {}
+  TraceArg(const char* k, std::string v)
+      : key(k), number(0), is_string(true), text(std::move(v)) {}
+
+  const char* key;
+  int64_t number;
+  bool is_double = false;
+  bool is_string = false;
+  double real = 0;
+  std::string text;
+};
+
+/// A completed span as recorded. Timestamps are microseconds on the steady
+/// clock, relative to the tracer's Start() epoch.
+struct TraceEvent {
+  const char* name;  // String literal supplied by the span site.
+  int64_t ts_us = 0;
+  int64_t dur_us = 0;
+  uint32_t tid = 0;  // Sequential id of the recording thread.
+  std::vector<TraceArg> args;
+};
+
+/// Process-wide tracer. Thread-safe; one instance (Global()).
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// Clears previously recorded events and enables recording. The steady-
+  /// clock epoch resets, so a new trace always starts near ts=0.
+  void Start();
+  /// Disables recording; recorded events remain available for export.
+  void Stop();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Records one complete span. Called by TraceSpan; callable directly for
+  /// spans whose lifetime does not fit a scope.
+  void RecordComplete(const char* name, int64_t ts_us, int64_t dur_us,
+                      std::vector<TraceArg> args);
+
+  /// Microseconds since the current epoch.
+  int64_t NowMicros() const;
+
+  /// All recorded events, merged across threads, ordered by begin time.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Chrome trace-event JSON: {"traceEvents":[...]}. Load in Perfetto
+  /// (ui.perfetto.dev) or chrome://tracing.
+  std::string ToChromeTraceJson() const;
+  /// Writes ToChromeTraceJson() to `path`; false (and a log line) on error.
+  bool WriteChromeTraceFile(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    uint32_t tid = 0;
+    std::mutex mu;  // Uncontended except during Snapshot().
+    std::vector<TraceEvent> events;
+  };
+
+  Tracer() = default;
+  ThreadBuffer* BufferForThisThread();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+  mutable std::mutex mu_;  // Guards buffers_ registration and epoch_.
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII scoped span. Use through PM_TRACE_SPAN.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) { Begin(name); }
+  TraceSpan(const char* name, std::initializer_list<TraceArg> args) {
+    Begin(name);
+    if (name_ != nullptr) args_.assign(args.begin(), args.end());
+  }
+  ~TraceSpan() {
+    if (name_ == nullptr) return;
+    Tracer& tracer = Tracer::Global();
+    tracer.RecordComplete(name_, start_us_,
+                          tracer.NowMicros() - start_us_, std::move(args_));
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches an argument discovered mid-span (e.g. a result count).
+  void AddArg(TraceArg arg) {
+    if (name_ != nullptr) args_.push_back(std::move(arg));
+  }
+
+ private:
+  void Begin(const char* name) {
+    Tracer& tracer = Tracer::Global();
+    if (!tracer.enabled()) return;  // name_ stays null: destructor no-op.
+    name_ = name;
+    start_us_ = tracer.NowMicros();
+  }
+
+  const char* name_ = nullptr;
+  int64_t start_us_ = 0;
+  std::vector<TraceArg> args_;
+};
+
+}  // namespace obs
+}  // namespace partminer
+
+#define PM_TRACE_CONCAT_INNER_(a, b) a##b
+#define PM_TRACE_CONCAT_(a, b) PM_TRACE_CONCAT_INNER_(a, b)
+
+/// Opens a scoped span: PM_TRACE_SPAN("unit_mine") or
+/// PM_TRACE_SPAN("unit_mine", {{"unit", i}}). Costs one relaxed atomic load
+/// when tracing is disabled.
+#define PM_TRACE_SPAN(...)                                       \
+  ::partminer::obs::TraceSpan PM_TRACE_CONCAT_(pm_trace_span_,   \
+                                               __LINE__)(__VA_ARGS__)
+
+#endif  // PARTMINER_OBS_TRACE_H_

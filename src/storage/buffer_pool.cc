@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace partminer {
 
@@ -32,6 +33,7 @@ int BufferPool::GetVictim() {
       }
       table_.erase(f.page_id);
       ++disk_->mutable_stats()->evictions;
+      PM_METRIC_COUNTER("storage.pool_evictions")->Increment();
       return frame;
     }
   }
@@ -45,9 +47,11 @@ char* BufferPool::Fetch(PageId id) {
     if (f.pin_count == 0) lru_.remove(it->second);
     ++f.pin_count;
     ++disk_->mutable_stats()->pool_hits;
+    PM_METRIC_COUNTER("storage.pool_hits")->Increment();
     return f.data.data();
   }
   ++disk_->mutable_stats()->pool_misses;
+  PM_METRIC_COUNTER("storage.pool_misses")->Increment();
   const int frame = GetVictim();
   if (frame < 0) return nullptr;
   Frame& f = frames_[frame];

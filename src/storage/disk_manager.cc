@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace partminer {
 
@@ -52,6 +53,7 @@ Status DiskManager::ReadPage(PageId id, char* out) {
   // Short read of a never-written page: zero-fill, matching Allocate().
   if (n < kPageSize) std::memset(out + n, 0, kPageSize - n);
   ++stats_.page_reads;
+  PM_METRIC_COUNTER("storage.page_reads")->Increment();
   SimulateLatency();
   return Status::Ok();
 }
@@ -66,6 +68,7 @@ Status DiskManager::WritePage(PageId id, const char* data) {
     return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
   }
   ++stats_.page_writes;
+  PM_METRIC_COUNTER("storage.page_writes")->Increment();
   SimulateLatency();
   return Status::Ok();
 }

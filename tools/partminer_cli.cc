@@ -1,15 +1,20 @@
 // partminer — command-line frequent-subgraph mining over gSpan-format files.
 //
 //   partminer mine   --input=db.lg --support=0.05 [--k=4] [--algo=partminer|
-//                    gspan|gaston] [--criteria=combined|mincut|isolation|
-//                    metis] [--threads=N] [--max-edges=N]
+//                    gspan|gaston|adi] [--criteria=combined|mincut|isolation|
+//                    metis] [--threads=N] [--max-edges=N] [--frames=N]
 //                    [--closed | --maximal] [--output=patterns.lg]
+//                    [--trace=trace.json] [--metrics=metrics.json]
 //   partminer gen    --output=db.lg [--d=500 --t=20 --n=20 --l=50 --i=5
 //                    --seed=1]
 //   partminer stats  --input=db.lg
 //
 // Patterns are written in gSpan format with a `# support <n>` comment per
-// pattern; without --output they go to stdout.
+// pattern; without --output they go to stdout. --trace writes a Chrome
+// trace-event JSON (load in Perfetto); --metrics dumps the process metrics
+// registry as JSON after mining.
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <climits>
@@ -18,8 +23,11 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 
+#include "adi/adi_index.h"
+#include "adi/adi_miner.h"
 #include "common/timing.h"
 #include "core/part_miner.h"
 #include "datagen/generator.h"
@@ -27,6 +35,8 @@
 #include "miner/closed.h"
 #include "miner/gaston.h"
 #include "miner/gspan.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -36,7 +46,11 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
   std::map<std::string, std::string> flags;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) continue;
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "warning: ignoring stray argument '%s'\n",
+                   arg.c_str());
+      continue;
+    }
     arg = arg.substr(2);
     const size_t eq = arg.find('=');
     if (eq == std::string::npos) {
@@ -54,13 +68,51 @@ std::string Get(const std::map<std::string, std::string>& flags,
   return it == flags.end() ? fallback : it->second;
 }
 
+/// Warns (stderr) about every parsed flag not in `known`, so a typo like
+/// --suport=0.05 is visible instead of silently falling back to a default.
+void WarnUnknownFlags(const std::map<std::string, std::string>& flags,
+                      std::initializer_list<const char*> known) {
+  for (const auto& [key, value] : flags) {
+    const bool recognized =
+        std::any_of(known.begin(), known.end(),
+                    [&key](const char* k) { return key == k; });
+    if (!recognized) {
+      std::fprintf(stderr, "warning: unrecognized flag --%s (ignored)\n",
+                   key.c_str());
+    }
+  }
+}
+
+/// Pages `db` through the disk-backed storage layer and records its paged
+/// footprint (storage.db_pages gauge), so a --metrics run reports storage
+/// I/O figures even for the memory-based miners: the build writes every
+/// page, the read-back sweep replays them through a small buffer pool.
+void StorageFootprintProbe(const GraphDatabase& db) {
+  PM_TRACE_SPAN("storage_probe", {{"graphs", db.size()}});
+  DiskManager disk;
+  std::ostringstream path;
+  path << "/tmp/partminer_probe_" << ::getpid() << ".pages";
+  if (!disk.Open(path.str()).ok()) return;
+  // Two frames: the sweep must evict and re-read, so the probe exercises the
+  // whole write/evict/read path rather than staying pool-resident.
+  BufferPool pool(&disk, 2);
+  AdiIndex index(&pool);
+  if (!index.Build(db).ok()) return;
+  Graph g;
+  for (int i = 0; i < index.graph_count(); ++i) {
+    if (!index.LoadGraph(i, &g).ok()) return;
+  }
+  PM_METRIC_GAUGE("storage.db_pages")->Set(index.pages_used());
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  partminer mine  --input=db.lg --support=0.05 [--k=4] "
-               "[--algo=partminer|gspan|gaston] [--criteria=combined|mincut|"
-               "isolation|metis] [--threads=N] [--max-edges=N] [--closed|"
-               "--maximal] [--output=out.lg]\n"
+               "[--algo=partminer|gspan|gaston|adi] [--criteria=combined|"
+               "mincut|isolation|metis] [--threads=N] [--max-edges=N] "
+               "[--frames=N] [--closed|--maximal] [--output=out.lg] "
+               "[--trace=trace.json] [--metrics=metrics.json]\n"
                "  partminer gen   --output=db.lg [--d --t --n --l --i "
                "--seed]\n"
                "  partminer stats --input=db.lg\n");
@@ -93,9 +145,15 @@ Status WritePatterns(const PatternSet& patterns, std::ostream& out) {
 }
 
 int Mine(const std::map<std::string, std::string>& flags) {
+  WarnUnknownFlags(flags, {"input", "support", "k", "algo", "criteria",
+                           "threads", "max-edges", "frames", "closed",
+                           "maximal", "output", "trace", "metrics"});
   GraphDatabase db;
   const std::string input = Get(flags, "input", "");
-  if (input.empty()) return Usage();
+  if (input.empty()) {
+    std::fprintf(stderr, "error: mine requires --input=<db.lg>\n");
+    return Usage();
+  }
   Status status = ReadGraphDatabaseFile(input, &db);
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
@@ -103,12 +161,21 @@ int Mine(const std::map<std::string, std::string>& flags) {
   }
 
   const double support = std::atof(Get(flags, "support", "0.05").c_str());
+  if (support <= 0.0) {
+    std::fprintf(stderr, "error: --support must be positive (got %s)\n",
+                 Get(flags, "support", "0.05").c_str());
+    return Usage();
+  }
   const int support_count =
       support >= 1.0
           ? static_cast<int>(support)
           : std::max(1, static_cast<int>(std::ceil(support * db.size())));
   const int max_edges = std::atoi(Get(flags, "max-edges", "0").c_str());
   const std::string algo = Get(flags, "algo", "partminer");
+
+  const std::string trace_path = Get(flags, "trace", "");
+  const std::string metrics_path = Get(flags, "metrics", "");
+  if (!trace_path.empty()) obs::Tracer::Global().Start();
 
   Stopwatch watch;
   PatternSet patterns;
@@ -141,12 +208,37 @@ int Mine(const std::map<std::string, std::string>& flags) {
     }
     PartMiner miner(options);
     patterns = miner.Mine(db).patterns;
+  } else if (algo == "adi") {
+    AdiMineOptions adi_options;
+    const int frames = std::atoi(Get(flags, "frames", "0").c_str());
+    if (frames > 0) adi_options.buffer_frames = frames;
+    AdiMine miner(adi_options);
+    status = miner.BuildIndex(db);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    MinerOptions options;
+    options.min_support = support_count;
+    if (max_edges > 0) options.max_edges = max_edges;
+    patterns = miner.Mine(options);
   } else {
+    std::fprintf(stderr, "error: unknown --algo=%s\n", algo.c_str());
     return Usage();
   }
 
   if (flags.count("closed")) patterns = ClosedPatterns(patterns);
   if (flags.count("maximal")) patterns = MaximalPatterns(patterns);
+
+  if (!metrics_path.empty() && algo != "adi") StorageFootprintProbe(db);
+  if (!trace_path.empty()) {
+    obs::Tracer::Global().Stop();
+    if (!obs::Tracer::Global().WriteChromeTraceFile(trace_path)) return 1;
+  }
+  if (!metrics_path.empty() &&
+      !obs::MetricRegistry::Global().WriteJsonFile(metrics_path)) {
+    return 1;
+  }
 
   std::fprintf(stderr,
                "%d graphs, min support %d: %d %spatterns in %.3fs (%s)\n",
@@ -175,6 +267,7 @@ int Mine(const std::map<std::string, std::string>& flags) {
 }
 
 int Gen(const std::map<std::string, std::string>& flags) {
+  WarnUnknownFlags(flags, {"output", "d", "t", "n", "l", "i", "seed"});
   GeneratorParams params;
   params.num_graphs = std::atoi(Get(flags, "d", "500").c_str());
   params.avg_edges = std::atoi(Get(flags, "t", "20").c_str());
@@ -199,33 +292,64 @@ int Gen(const std::map<std::string, std::string>& flags) {
 }
 
 int Stats(const std::map<std::string, std::string>& flags) {
+  WarnUnknownFlags(flags, {"input"});
+  const std::string input = Get(flags, "input", "");
+  if (input.empty()) {
+    std::fprintf(stderr, "error: stats requires --input=<db.lg>\n");
+    return Usage();
+  }
   GraphDatabase db;
-  const Status status = ReadGraphDatabaseFile(Get(flags, "input", ""), &db);
+  const Status status = ReadGraphDatabaseFile(input, &db);
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 1;
   }
   int64_t vertices = 0;
   int max_edges = 0;
+  int min_vertices = INT_MAX;
+  int max_vertices = 0;
   std::map<Label, int> vertex_labels;
+  std::map<Label, int> edge_labels;
   for (int i = 0; i < db.size(); ++i) {
     const Graph& g = db.graph(i);
     vertices += g.VertexCount();
     max_edges = std::max(max_edges, g.EdgeCount());
+    min_vertices = std::min(min_vertices, g.VertexCount());
+    max_vertices = std::max(max_vertices, g.VertexCount());
     for (VertexId v = 0; v < g.VertexCount(); ++v) {
       ++vertex_labels[g.vertex_label(v)];
     }
+    for (const EdgeEntry& e : g.UndirectedEdges()) ++edge_labels[e.label];
   }
+  if (db.size() == 0) min_vertices = 0;
   std::printf("graphs:          %d\n", db.size());
-  std::printf("vertices:        %lld (avg %.1f)\n",
+  std::printf("vertices:        %lld (avg %.1f, min %d, max %d)\n",
               static_cast<long long>(vertices),
-              db.size() ? static_cast<double>(vertices) / db.size() : 0.0);
+              db.size() ? static_cast<double>(vertices) / db.size() : 0.0,
+              min_vertices, max_vertices);
   std::printf("edges:           %lld (avg %.1f, max %d)\n",
               static_cast<long long>(db.TotalEdges()),
               db.size() ? static_cast<double>(db.TotalEdges()) / db.size()
                         : 0.0,
               max_edges);
+  std::printf("avg degree:      %.2f\n",
+              vertices ? 2.0 * db.TotalEdges() / vertices : 0.0);
   std::printf("vertex labels:   %zu distinct\n", vertex_labels.size());
+  std::printf("edge labels:     %zu distinct\n", edge_labels.size());
+  // Most frequent vertex labels: skew here drives both the partitioning
+  // quality and the miners' 1-edge seed counts, so surface it.
+  std::vector<std::pair<int, Label>> ranked;
+  for (const auto& [label, count] : vertex_labels) {
+    ranked.emplace_back(count, label);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  const size_t top = std::min<size_t>(5, ranked.size());
+  for (size_t i = 0; i < top; ++i) {
+    std::printf("  label %-4d %d vertices (%.1f%%)\n", ranked[i].second,
+                ranked[i].first,
+                vertices ? 100.0 * ranked[i].first / vertices : 0.0);
+  }
   return 0;
 }
 
