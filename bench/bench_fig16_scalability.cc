@@ -7,7 +7,8 @@
 // ADIMINE.
 //
 // Flags: --axis=T|D|both, --scale, --d/--t/--n/--l/--i/--seed, --sup,
-//        --k, --io-delay-us.
+//        --k, --io-delay-us, --threads (work-stealing pool width for
+//        PartMiner unit mining; 0 = serial).
 
 #include <algorithm>
 #include <cmath>
@@ -24,7 +25,7 @@ namespace bench {
 namespace {
 
 void RunPoint(const char* figure, double x, const WorkloadSpec& spec,
-              double sup, int k, int io_delay_us) {
+              double sup, int k, int io_delay_us, int threads) {
   GraphDatabase db = MakeWorkload(spec);
 
   AdiMineOptions adi_opts;
@@ -42,6 +43,7 @@ void RunPoint(const char* figure, double x, const WorkloadSpec& spec,
   PartMinerOptions options;
   options.min_support_fraction = sup;
   options.partition.k = k;
+  options.unit_mining_threads = threads;
   PartMiner miner(options);
   const PartMinerResult result = miner.Mine(db);
   PrintRow(figure, "PartMiner", x, result.AggregateSeconds());
@@ -58,6 +60,7 @@ int main(int argc, char** argv) {
   const double sup = flags.GetDouble("sup", 0.04);
   const int k = flags.GetInt("k", 2);
   const int io_delay_us = flags.GetInt("io-delay-us", 1000);
+  const int threads = flags.GetInt("threads", 0);
   const std::string axis = flags.GetString("axis", "both");
 
   PrintHeader("fig16",
@@ -69,7 +72,7 @@ int main(int argc, char** argv) {
     for (const int t : {10, 15, 20, 25}) {
       WorkloadSpec spec = base;
       spec.t = t;
-      RunPoint("fig16a", t, spec, sup, k, io_delay_us);
+      RunPoint("fig16a", t, spec, sup, k, io_delay_us, threads);
     }
   }
   if (axis == "D" || axis == "both") {
@@ -78,7 +81,7 @@ int main(int argc, char** argv) {
       WorkloadSpec spec = base;
       spec.d = base.d * d_factor / 2;
       spec.l = std::max(3, base.l * d_factor / 2);
-      RunPoint("fig16b", spec.d, spec, sup, k, io_delay_us);
+      RunPoint("fig16b", spec.d, spec, sup, k, io_delay_us, threads);
     }
   }
   MaybeWriteMetrics(flags, "fig16");

@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "core/inc_part_miner.h"
 #include "core/merge_join.h"
 #include "core/part_miner.h"
@@ -56,6 +57,64 @@ void BM_GastonFull(benchmark::State& state) {
   state.counters["patterns"] = patterns;
 }
 BENCHMARK(BM_GastonFull)->Arg(250)->Arg(500);
+
+// Parallel search-tree variants: same D500 workload as the Full benchmarks
+// above, fanned onto a work-stealing pool of state.range(0) workers. Output
+// is bit-identical to serial (parallel_mine_test), so patterns should match
+// BM_*Full at Arg(500) exactly; only the wall clock moves. On a single-core
+// machine expect parity at 1 thread and scheduling overhead, not speedup,
+// beyond that.
+void BM_GSpanParallel(benchmark::State& state) {
+  const GraphDatabase db = Workload(500);
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  MinerOptions options;
+  options.min_support = std::max(1, static_cast<int>(0.04 * db.size()));
+  options.pool = &pool;
+  GSpanMiner miner;
+  int patterns = 0;
+  for (auto _ : state) {
+    patterns = miner.Mine(db, options).size();
+  }
+  state.counters["patterns"] = patterns;
+  state.counters["steals"] =
+      static_cast<double>(pool.stats().steals.load());
+}
+BENCHMARK(BM_GSpanParallel)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_GastonParallel(benchmark::State& state) {
+  const GraphDatabase db = Workload(500);
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  MinerOptions options;
+  options.min_support = std::max(1, static_cast<int>(0.04 * db.size()));
+  options.pool = &pool;
+  GastonMiner miner;
+  int patterns = 0;
+  for (auto _ : state) {
+    patterns = miner.Mine(db, options).size();
+  }
+  state.counters["patterns"] = patterns;
+  state.counters["steals"] =
+      static_cast<double>(pool.stats().steals.load());
+}
+BENCHMARK(BM_GastonParallel)->Arg(1)->Arg(2)->Arg(4);
+
+// PartMiner unit scheduling on the shared pool (satellite of the same
+// change): units are claimed longest-first, and each unit's subtree fans
+// onto the pool as well.
+void BM_PartMinerUnitsParallel(benchmark::State& state) {
+  const GraphDatabase db = Workload(500);
+  PartMinerOptions options;
+  options.min_support_fraction = 0.04;
+  options.partition.k = 4;
+  options.unit_mining_threads = static_cast<int>(state.range(0));
+  int patterns = 0;
+  for (auto _ : state) {
+    PartMiner miner(options);
+    patterns = miner.Mine(db).patterns.size();
+  }
+  state.counters["patterns"] = patterns;
+}
+BENCHMARK(BM_PartMinerUnitsParallel)->Arg(0)->Arg(2)->Arg(4);
 
 // The classic pattern-growth vs Apriori comparison (the reason gSpan/Gaston
 // superseded AGM/FSG, Section 2 of the paper): same outputs, very different

@@ -28,7 +28,8 @@ AdiMine::AdiMine(const AdiMineOptions& options) {
       options.file_path.empty() ? UniqueTempPath() : options.file_path;
   PM_CHECK(disk_.Open(path).ok()) << "cannot open ADI page file " << path;
   disk_.set_simulated_latency_us(options.io_delay_us);
-  pool_ = std::make_unique<BufferPool>(&disk_, options.buffer_frames);
+  pool_ = std::make_unique<BufferPool>(&disk_, options.buffer_frames,
+                                       options.buffer_shards);
   index_ = std::make_unique<AdiIndex>(pool_.get());
 }
 

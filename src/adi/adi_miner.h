@@ -16,6 +16,10 @@ struct AdiMineOptions {
   /// Buffer-pool capacity in pages. Small pools force re-reads during scans,
   /// modeling a database larger than memory.
   int buffer_frames = 256;
+  /// Buffer-pool LRU shards (see BufferPool). 1 keeps the exact global-LRU
+  /// behavior; larger values reduce lock contention when index scans run on
+  /// the work-stealing pool.
+  int buffer_shards = 1;
   /// Backing file; empty picks a unique temp path.
   std::string file_path;
   /// Simulated per-page access latency (microseconds); models the 2006-era

@@ -1,9 +1,12 @@
 #include "core/inc_part_miner.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <memory>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "common/timing.h"
 #include "core/merge_join.h"
 #include "core/verify.h"
@@ -106,40 +109,83 @@ IncPartMinerResult IncPartMiner::Update(PartMiner* state,
   std::vector<bool> node_dirty(tree.size(), false);
   PatternSet prune_set;
 
+  std::vector<int> touched_nodes;
   for (size_t node = 0; node < tree.size(); ++node) {
     if (tree[node].left != -1) continue;  // Internal node.
-    const int unit_index = tree[node].lo;
-    if (!touched.Test(unit_index)) continue;
+    if (touched.Test(tree[node].lo)) {
+      touched_nodes.push_back(static_cast<int>(node));
+    }
+  }
 
+  // Phase A: re-mine each touched unit into a fresh set. Tasks write only
+  // their own slots (fresh set, stats, frontier, timing), never
+  // node_patterns, so the touched units can run on the work-stealing pool;
+  // per-task stats are accumulated afterwards in node order.
+  std::vector<PatternSet> fresh_sets(touched_nodes.size());
+  std::vector<MergeJoinStats> task_stats(touched_nodes.size());
+  auto remine_unit = [&](size_t idx) {
+    const int node = touched_nodes[idx];
+    const int unit_index = tree[node].lo;
     PM_TRACE_SPAN("inc_unit_mine",
                   {{"unit", unit_index},
                    {"changed_graphs", unit_changed[unit_index].size()}});
     Stopwatch watch;
     const GraphDatabase unit_db = part.MaterializeUnit(new_db, unit_index);
     MergeJoinOptions leaf_options;
-    leaf_options.min_support = state->NodeSupport(static_cast<int>(node));
+    leaf_options.min_support = state->NodeSupport(node);
     leaf_options.max_edges = state->options().max_edges;
     leaf_options.delta_sweep_max_fraction =
         state->options().inc_delta_sweep_max_fraction;
-    PatternSet fresh =
+    fresh_sets[idx] =
         IncMergeJoin(unit_db, node_patterns[node], unit_changed[unit_index],
-                     leaf_options, &result.merge_stats,
-                     &node_frontiers[node]);
+                     leaf_options, &task_stats[idx], &node_frontiers[node]);
+    result.unit_mining_seconds[unit_index] = watch.ElapsedSeconds();
+  };
+  const int threads = state->options().unit_mining_threads;
+  if (threads > 0 && touched_nodes.size() > 1) {
+    // Longest-first by changed-graph count, claimed through a shared
+    // counter (see PartMiner::Mine for the scheduling rationale).
+    std::vector<size_t> order(touched_nodes.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return unit_changed[tree[touched_nodes[a]].lo].size() >
+             unit_changed[tree[touched_nodes[b]].lo].size();
+    });
+    ThreadPool pool(threads);
+    std::atomic<size_t> next{0};
+    TaskGroup group(&pool);
+    for (size_t t = 0; t < order.size(); ++t) {
+      group.Spawn([&]() {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        remine_unit(order[i]);
+      });
+    }
+    group.Wait();
+  } else {
+    for (size_t idx = 0; idx < touched_nodes.size(); ++idx) remine_unit(idx);
+  }
+  for (const MergeJoinStats& s : task_stats) result.merge_stats.Accumulate(s);
 
+  // Phase B: prune-set diff and apply, serially in ascending node order.
+  // The diff consults the *other* units' pattern sets, with earlier-visited
+  // units already replaced — an order the serial loop defined and the
+  // parallel phase A must not perturb, hence the split.
+  for (size_t idx = 0; idx < touched_nodes.size(); ++idx) {
+    const int node = touched_nodes[idx];
     for (const PatternInfo& p : node_patterns[node].patterns()) {
-      if (fresh.Contains(p.code)) continue;
+      if (fresh_sets[idx].Contains(p.code)) continue;
       // Vanished here; keep in P only if absent from every other unit.
       bool elsewhere = false;
       for (size_t other = 0; other < tree.size() && !elsewhere; ++other) {
-        if (other == node || tree[other].left != -1) continue;
+        if (static_cast<int>(other) == node || tree[other].left != -1) {
+          continue;
+        }
         if (node_patterns[other].Contains(p.code)) elsewhere = true;
       }
       if (!elsewhere) prune_set.Upsert(p);
     }
-
-    node_patterns[node] = std::move(fresh);
+    node_patterns[node] = std::move(fresh_sets[idx]);
     node_dirty[node] = true;
-    result.unit_mining_seconds[unit_index] = watch.ElapsedSeconds();
   }
   result.prune_set_size = prune_set.size();
 

@@ -1,11 +1,12 @@
 #include "core/part_miner.h"
 
 #include <algorithm>
-#include <cmath>
 #include <atomic>
-#include <thread>
+#include <cmath>
+#include <cstdint>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "common/timing.h"
 #include "miner/gaston.h"
 #include "miner/gspan.h"
@@ -97,7 +98,7 @@ PartMinerResult PartMiner::Mine(const GraphDatabase& db) {
   for (size_t node = 0; node < tree.size(); ++node) {
     if (tree[node].left == -1) leaf_nodes.push_back(static_cast<int>(node));
   }
-  auto mine_unit = [&](int node) {
+  auto mine_unit = [&](int node, ThreadPool* pool) {
     const int unit_index = tree[node].lo;
     PM_TRACE_SPAN("unit_mine",
                   {{"unit", unit_index}, {"support", NodeSupport(node)}});
@@ -107,6 +108,7 @@ PartMinerResult PartMiner::Mine(const GraphDatabase& db) {
     miner_options.min_support = NodeSupport(node);
     miner_options.max_edges = options_.max_edges;
     miner_options.capture_frontier = &node_frontiers_[node].map;
+    miner_options.pool = pool;
     node_frontiers_[node].valid = true;
     std::unique_ptr<FrequentSubgraphMiner> unit_miner = MakeUnitMiner();
     node_patterns_[node] = unit_miner->Mine(unit_db, miner_options);
@@ -117,22 +119,35 @@ PartMinerResult PartMiner::Mine(const GraphDatabase& db) {
   {
     PM_TRACE_SPAN("unit_mining", {{"units", leaf_nodes.size()}});
     if (options_.unit_mining_threads > 0) {
-      std::vector<std::thread> workers;
+      // Pool width is exactly unit_mining_threads. Units and their mining
+      // subtrees share the pool: a unit that finishes early frees workers
+      // to steal extension subtrees of a still-running heavy unit, which is
+      // what keeps the makespan near max-unit instead of sum-of-stragglers.
+      //
+      // Longest-unit-first: units are claimed in descending assigned-vertex
+      // order through a shared counter, so whichever task body runs first
+      // picks up the heaviest remaining unit — submission and steal order
+      // cannot invert the schedule.
+      std::vector<int64_t> unit_vertices(partitioned_.k(), 0);
+      for (const std::vector<int>& graph_assign : partitioned_.assignments()) {
+        for (const int unit : graph_assign) ++unit_vertices[unit];
+      }
+      std::vector<int> order = leaf_nodes;
+      std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return unit_vertices[tree[a].lo] > unit_vertices[tree[b].lo];
+      });
+      ThreadPool pool(options_.unit_mining_threads);
       std::atomic<size_t> next{0};
-      const int thread_count =
-          std::min<int>(options_.unit_mining_threads,
-                        static_cast<int>(leaf_nodes.size()));
-      for (int t = 0; t < thread_count; ++t) {
-        workers.emplace_back([&]() {
-          for (size_t i = next.fetch_add(1); i < leaf_nodes.size();
-               i = next.fetch_add(1)) {
-            mine_unit(leaf_nodes[i]);
-          }
+      TaskGroup group(&pool);
+      for (size_t t = 0; t < order.size(); ++t) {
+        group.Spawn([&]() {
+          const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          mine_unit(order[i], &pool);
         });
       }
-      for (std::thread& w : workers) w.join();
+      group.Wait();
     } else {
-      for (const int node : leaf_nodes) mine_unit(node);
+      for (const int node : leaf_nodes) mine_unit(node, nullptr);
     }
   }
 

@@ -34,11 +34,13 @@ struct PartMinerOptions {
   /// above which the incremental merge falls back to an exact re-sweep.
   double inc_delta_sweep_max_fraction = 0.15;
 
-  /// Number of threads for unit mining. 0 mines units serially (the default;
-  /// the *parallel time* metric is still reported). Positive values actually
-  /// run units concurrently — "PartMiner is inherently parallel in nature"
-  /// (Section 1): units are independent databases, so no synchronization is
-  /// needed beyond joining the workers.
+  /// Number of threads for unit mining — the width of the work-stealing
+  /// pool (see common/thread_pool.h). 0 mines units serially (the default;
+  /// the *parallel time* metric is still reported). Positive values run
+  /// units concurrently in longest-unit-first order — "PartMiner is
+  /// inherently parallel in nature" (Section 1) — and additionally fan the
+  /// unit miners' extension subtrees onto the same pool, so idle workers
+  /// steal work from a straggling unit instead of waiting for it.
   int unit_mining_threads = 0;
 };
 

@@ -15,12 +15,19 @@ void History::Build(const Graph& g, const Embedding& e) {
   }
   std::reverse(edges_.begin(), edges_.end());
 
-  has_edge_.assign(g.EdgeCount(), false);
-  has_vertex_.assign(g.VertexCount(), false);
+  // Grow-only scratch: stamps from earlier epochs read as "absent", so a
+  // fresh epoch clears the arrays in O(1).
+  ++epoch_;
+  if (edge_stamp_.size() < static_cast<size_t>(g.EdgeCount())) {
+    edge_stamp_.resize(g.EdgeCount(), 0);
+  }
+  if (vertex_stamp_.size() < static_cast<size_t>(g.VertexCount())) {
+    vertex_stamp_.resize(g.VertexCount(), 0);
+  }
   for (const EdgeEntry* edge : edges_) {
-    has_edge_[edge->eid] = true;
-    has_vertex_[edge->from] = true;
-    has_vertex_[edge->to] = true;
+    edge_stamp_[edge->eid] = epoch_;
+    vertex_stamp_[edge->from] = epoch_;
+    vertex_stamp_[edge->to] = epoch_;
   }
 }
 
@@ -35,6 +42,101 @@ std::vector<int> BuildRightmostPathPositions(const DfsCode& code) {
     }
   }
   return rmpath;
+}
+
+namespace {
+
+uint64_t HashTuple(const DfsEdge& t) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a over the five fields.
+  const auto mix = [&h](uint32_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<uint32_t>(t.from));
+  mix(static_cast<uint32_t>(t.to));
+  mix(static_cast<uint32_t>(t.from_label));
+  mix(static_cast<uint32_t>(t.edge_label));
+  mix(static_cast<uint32_t>(t.to_label));
+  return h;
+}
+
+size_t NextPow2(size_t v) {
+  size_t p = 16;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Each thread keeps one History whose stamp arrays grow to the largest
+/// graph it has seen; Build is then O(code length) per embedding.
+History& ThreadLocalHistory() {
+  thread_local History history;
+  return history;
+}
+
+}  // namespace
+
+ExtensionMap::ExtensionMap(size_t embedding_hint) {
+  // A group typically collects a fraction of the parent's embeddings;
+  // reserve a conservative slice, capped so databases with many distinct
+  // tuples don't over-allocate per group.
+  group_reserve_ =
+      std::min<size_t>(std::max<size_t>(embedding_hint / 8, 4), 256);
+}
+
+size_t ExtensionMap::Probe(const DfsEdge& tuple) const {
+  const size_t mask = slots_.size() - 1;
+  size_t i = HashTuple(tuple) & mask;
+  while (slots_[i] != -1 && !(entries_[slots_[i]].first == tuple)) {
+    i = (i + 1) & mask;
+  }
+  return i;
+}
+
+void ExtensionMap::Rehash(size_t buckets) const {
+  slots_.assign(buckets, -1);
+  for (size_t e = 0; e < entries_.size(); ++e) {
+    slots_[Probe(entries_[e].first)] = static_cast<int32_t>(e);
+  }
+  index_valid_ = true;
+}
+
+Projected& ExtensionMap::operator[](const DfsEdge& tuple) {
+  if (!index_valid_) {
+    Rehash(NextPow2(std::max<size_t>(16, (entries_.size() + 1) * 2)));
+  } else if ((entries_.size() + 1) * 2 > slots_.size()) {
+    Rehash(slots_.size() * 2);
+  }
+  const size_t i = Probe(tuple);
+  if (slots_[i] != -1) return entries_[slots_[i]].second;
+  sorted_ = false;
+  slots_[i] = static_cast<int32_t>(entries_.size());
+  entries_.emplace_back(tuple, Projected());
+  if (group_reserve_ > 0) entries_.back().second.reserve(group_reserve_);
+  return entries_.back().second;
+}
+
+size_t ExtensionMap::count(const DfsEdge& tuple) const {
+  if (entries_.empty()) return 0;
+  if (sorted_) {
+    const auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), tuple,
+        [](const Entry& e, const DfsEdge& t) {
+          return CompareDfsEdge(e.first, t) < 0;
+        });
+    return it != entries_.end() && it->first == tuple ? 1 : 0;
+  }
+  if (!index_valid_) Rehash(NextPow2(std::max<size_t>(16, entries_.size() * 2)));
+  return slots_[Probe(tuple)] != -1 ? 1 : 0;
+}
+
+void ExtensionMap::EnsureSorted() const {
+  if (sorted_) return;
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              return CompareDfsEdge(a.first, b.first) < 0;
+            });
+  sorted_ = true;
+  index_valid_ = false;  // The sort permuted the entry indices.
 }
 
 ExtensionMap CollectRootExtensions(const GraphDatabase& db) {
@@ -63,13 +165,13 @@ ExtensionMap CollectRootExtensions(const GraphDatabase& db) {
 ExtensionMap CollectExtensions(const GraphDatabase& db, const DfsCode& code,
                                const Projected& projected,
                                bool enable_order_pruning) {
-  ExtensionMap extensions;
+  ExtensionMap extensions(projected.size());
   const std::vector<int> rmpath = BuildRightmostPathPositions(code);
   PM_CHECK(!rmpath.empty());
   const int maxtoc = code[rmpath[0]].to;  // Rightmost vertex (DFS index).
   const Label min_label = code[0].from_label;
 
-  History history;
+  History& history = ThreadLocalHistory();
   for (const Embedding& emb : projected) {
     const Graph& g = db.graph(emb.graph_index);
     history.Build(g, emb);
@@ -205,12 +307,23 @@ Projected ProjectCode(const DfsCode& code, const GraphDatabase& db,
   Projected out;
   if (code.empty()) return out;
   const int pattern_vertices = code.VertexCount();
+  // Scratch hoisted out of the per-graph loop. The used/vertex_used flags
+  // are restored to false by the backtracker, so between graphs the arrays
+  // only ever need to *grow* — no per-graph clear.
+  std::vector<VertexId> assignment;
+  std::vector<bool> used;
+  std::vector<bool> vertex_used;
+  std::vector<const EdgeEntry*> matched;
+  matched.reserve(code.size());
   for (const int gi : graph_indices) {
     const Graph& g = db.graph(gi);
-    std::vector<VertexId> assignment(pattern_vertices, -1);
-    std::vector<bool> used(g.EdgeCount(), false);
-    std::vector<bool> vertex_used(g.VertexCount(), false);
-    std::vector<const EdgeEntry*> matched;
+    assignment.assign(pattern_vertices, -1);
+    if (used.size() < static_cast<size_t>(g.EdgeCount())) {
+      used.resize(g.EdgeCount(), false);
+    }
+    if (vertex_used.size() < static_cast<size_t>(g.VertexCount())) {
+      vertex_used.resize(g.VertexCount(), false);
+    }
     // Seed position 0: every half-edge matching the first tuple.
     const DfsEdge& first = code[0];
     for (VertexId u = 0; u < g.VertexCount(); ++u) {

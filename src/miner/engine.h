@@ -1,8 +1,9 @@
 #ifndef PARTMINER_MINER_ENGINE_H_
 #define PARTMINER_MINER_ENGINE_H_
 
+#include <cstdint>
 #include <deque>
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "graph/dfs_code.h"
@@ -26,8 +27,15 @@ struct Embedding {
 using Projected = std::vector<Embedding>;
 
 /// Flattened view of one embedding: the host edges realizing each code
-/// entry, plus host-vertex/edge occupancy bitmaps used to keep extensions
-/// injective.
+/// entry, plus host-vertex/edge occupancy used to keep extensions injective.
+///
+/// Occupancy is tracked with epoch stamps instead of boolean arrays: Build
+/// bumps the epoch and stamps only the O(code length) touched slots, so the
+/// per-embedding cost no longer scales with the host graph's size (the old
+/// `assign` cleared all V+E slots per embedding). The stamp arrays grow
+/// monotonically to the largest graph seen by this instance and are meant
+/// to be reused across embeddings and graphs — CollectExtensions keeps one
+/// History per thread.
 class History {
  public:
   void Build(const Graph& g, const Embedding& e);
@@ -35,13 +43,14 @@ class History {
   const EdgeEntry* edge(int code_position) const {
     return edges_[code_position];
   }
-  bool HasEdge(int eid) const { return has_edge_[eid]; }
-  bool HasVertex(VertexId v) const { return has_vertex_[v]; }
+  bool HasEdge(int eid) const { return edge_stamp_[eid] == epoch_; }
+  bool HasVertex(VertexId v) const { return vertex_stamp_[v] == epoch_; }
 
  private:
   std::vector<const EdgeEntry*> edges_;
-  std::vector<bool> has_edge_;
-  std::vector<bool> has_vertex_;
+  std::vector<uint64_t> edge_stamp_;
+  std::vector<uint64_t> vertex_stamp_;
+  uint64_t epoch_ = 0;  // Stamp 0 is reserved for "never touched".
 };
 
 /// Positions (indices into the code) of the rightmost-path *forward* edges,
@@ -58,7 +67,52 @@ struct DfsEdgeLess {
 };
 
 /// Extension tuple -> embeddings of (code + tuple).
-using ExtensionMap = std::map<DfsEdge, Projected, DfsEdgeLess>;
+///
+/// Flat replacement for the former std::map: groups are appended to a
+/// contiguous vector and located through a small open-addressing index, so
+/// the collection hot loop pays one hash probe per embedding instead of a
+/// red-black tree walk plus node allocation. Iteration sorts the entries by
+/// gSpan tuple order on first access (begin/count), which preserves the
+/// deterministic smallest-first traversal the miners rely on.
+class ExtensionMap {
+ public:
+  using Entry = std::pair<DfsEdge, Projected>;
+  using const_iterator = std::vector<Entry>::const_iterator;
+
+  ExtensionMap() = default;
+  /// `embedding_hint` is the parent projection's embedding count; new
+  /// groups reserve from it so the append loop rarely reallocates.
+  explicit ExtensionMap(size_t embedding_hint);
+
+  /// Embedding list of `tuple`, created empty on first access.
+  Projected& operator[](const DfsEdge& tuple);
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  /// 1 when `tuple` has a group, else 0 (std::map-compatible spelling).
+  size_t count(const DfsEdge& tuple) const;
+
+  /// Iteration is in ascending CompareDfsEdge order.
+  const_iterator begin() const {
+    EnsureSorted();
+    return entries_.begin();
+  }
+  const_iterator end() const { return entries_.end(); }
+
+ private:
+  void EnsureSorted() const;
+  void Rehash(size_t buckets) const;
+  /// Slot of `tuple` in slots_, or the empty slot where it would insert.
+  size_t Probe(const DfsEdge& tuple) const;
+
+  mutable std::vector<Entry> entries_;
+  /// Open addressing: slot -> entry index, -1 empty. Rebuilt lazily after a
+  /// sort invalidates it (sorting permutes entry indices).
+  mutable std::vector<int32_t> slots_;
+  mutable bool sorted_ = false;
+  mutable bool index_valid_ = false;
+  size_t group_reserve_ = 0;
+};
 
 /// Groups every single-edge pattern of the database with its embeddings.
 /// Tuples with from_label > to_label are omitted (their mirror is the
@@ -69,6 +123,7 @@ ExtensionMap CollectRootExtensions(const GraphDatabase& db);
 /// When `enable_order_pruning` is set, extensions that provably produce
 /// non-minimal codes are dropped early (the gSpan label-order prunings);
 /// every surviving extension must still pass IsMinimalDfsCode.
+/// Uses a thread-local History scratch, safe for concurrent callers.
 ExtensionMap CollectExtensions(const GraphDatabase& db, const DfsCode& code,
                                const Projected& projected,
                                bool enable_order_pruning);

@@ -9,6 +9,8 @@
 
 namespace partminer {
 
+class ThreadPool;
+
 /// Options shared by all frequent-subgraph miners.
 struct MinerOptions {
   /// Absolute minimum support (number of database graphs). PartMiner
@@ -27,6 +29,17 @@ struct MinerOptions {
   /// group that did not become a frequent pattern, with exact TID lists (see
   /// FrontierMap). Consumed by the incremental merge.
   FrontierMap* capture_frontier = nullptr;
+
+  /// When non-null, the gSpan/Gaston search tree itself is parallelized:
+  /// sibling extension subtrees (root groups, and first-level children with
+  /// at least `parallel_spawn_min_embeddings` embeddings) run as pool tasks
+  /// with task-local outputs, merged in tuple order so the result is
+  /// bit-identical to the serial traversal. Null keeps the serial path.
+  ThreadPool* pool = nullptr;
+
+  /// Minimum embedding count for a first-level subtree to be worth a task
+  /// of its own; smaller subtrees stay inline with their parent.
+  int parallel_spawn_min_embeddings = 32;
 };
 
 /// Interface of the memory-based miners PartMiner plugs in (Section 4.2:

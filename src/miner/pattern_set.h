@@ -122,6 +122,17 @@ class PatternSet {
     }
   }
 
+  /// Moves every pattern of `other` into this set, preserving `other`'s
+  /// insertion order. The parallel miners use this to stitch task-local
+  /// subtree results back together in the serial traversal order, which is
+  /// what keeps parallel output bit-identical to serial. `other` is left
+  /// empty.
+  void AppendFrom(PatternSet&& other) {
+    for (PatternInfo& p : other.patterns_) Upsert(std::move(p));
+    other.patterns_.clear();
+    other.index_.clear();
+  }
+
   /// Set of canonical codes, sorted — convenient for equality assertions in
   /// tests and for diffing pattern sets.
   std::vector<std::string> SortedCodeStrings() const {

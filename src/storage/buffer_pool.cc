@@ -8,30 +8,40 @@
 
 namespace partminer {
 
-BufferPool::BufferPool(DiskManager* disk, int frames) : disk_(disk) {
+BufferPool::BufferPool(DiskManager* disk, int frames, int shards)
+    : disk_(disk), total_frames_(frames) {
   PM_CHECK_GT(frames, 0);
-  frames_.resize(frames);
-  free_.reserve(frames);
-  for (int i = frames - 1; i >= 0; --i) free_.push_back(i);
+  PM_CHECK_GT(shards, 0);
+  PM_CHECK_GE(frames, shards) << "every shard needs at least one frame";
+  shards_.reserve(shards);
+  for (int s = 0; s < shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    // Spread frames round-robin: shard s gets ceil or floor of frames/shards.
+    const int count = frames / shards + (s < frames % shards ? 1 : 0);
+    shard->frames.resize(count);
+    shard->free.reserve(count);
+    for (int i = count - 1; i >= 0; --i) shard->free.push_back(i);
+    shards_.push_back(std::move(shard));
+  }
 }
 
-int BufferPool::GetVictim() {
-  if (!free_.empty()) {
-    const int frame = free_.back();
-    free_.pop_back();
-    frames_[frame].data.resize(kPageSize);
+int BufferPool::GetVictim(Shard* shard) {
+  if (!shard->free.empty()) {
+    const int frame = shard->free.back();
+    shard->free.pop_back();
+    shard->frames[frame].data.resize(kPageSize);
     return frame;
   }
-  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
-    Frame& f = frames_[*it];
+  for (auto it = shard->lru.begin(); it != shard->lru.end(); ++it) {
+    Frame& f = shard->frames[*it];
     if (f.pin_count == 0) {
       const int frame = *it;
-      lru_.erase(it);
+      shard->lru.erase(it);
       if (f.dirty) {
         PM_CHECK(disk_->WritePage(f.page_id, f.data.data()).ok());
         f.dirty = false;
       }
-      table_.erase(f.page_id);
+      shard->table.erase(f.page_id);
       ++disk_->mutable_stats()->evictions;
       PM_METRIC_COUNTER("storage.pool_evictions")->Increment();
       return frame;
@@ -41,10 +51,12 @@ int BufferPool::GetVictim() {
 }
 
 char* BufferPool::Fetch(PageId id) {
-  auto it = table_.find(id);
-  if (it != table_.end()) {
-    Frame& f = frames_[it->second];
-    if (f.pin_count == 0) lru_.remove(it->second);
+  Shard& shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.table.find(id);
+  if (it != shard.table.end()) {
+    Frame& f = shard.frames[it->second];
+    if (f.pin_count == 0) shard.lru.remove(it->second);
     ++f.pin_count;
     ++disk_->mutable_stats()->pool_hits;
     PM_METRIC_COUNTER("storage.pool_hits")->Increment();
@@ -52,61 +64,71 @@ char* BufferPool::Fetch(PageId id) {
   }
   ++disk_->mutable_stats()->pool_misses;
   PM_METRIC_COUNTER("storage.pool_misses")->Increment();
-  const int frame = GetVictim();
+  const int frame = GetVictim(&shard);
   if (frame < 0) return nullptr;
-  Frame& f = frames_[frame];
+  Frame& f = shard.frames[frame];
   f.page_id = id;
   f.pin_count = 1;
   f.dirty = false;
   PM_CHECK(disk_->ReadPage(id, f.data.data()).ok());
-  table_[id] = frame;
+  shard.table[id] = frame;
   return f.data.data();
 }
 
 char* BufferPool::Allocate(PageId* id) {
   *id = disk_->Allocate();
-  const int frame = GetVictim();
+  Shard& shard = ShardOf(*id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const int frame = GetVictim(&shard);
   if (frame < 0) return nullptr;
-  Frame& f = frames_[frame];
+  Frame& f = shard.frames[frame];
   f.page_id = *id;
   f.pin_count = 1;
   f.dirty = true;  // New pages must reach disk even if never re-written.
   std::memset(f.data.data(), 0, kPageSize);
-  table_[*id] = frame;
+  shard.table[*id] = frame;
   return f.data.data();
 }
 
 void BufferPool::Unpin(PageId id, bool dirty) {
-  auto it = table_.find(id);
-  PM_CHECK(it != table_.end()) << "unpin of uncached page " << id;
-  Frame& f = frames_[it->second];
+  Shard& shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.table.find(id);
+  PM_CHECK(it != shard.table.end()) << "unpin of uncached page " << id;
+  Frame& f = shard.frames[it->second];
   PM_CHECK_GT(f.pin_count, 0);
   f.dirty = f.dirty || dirty;
-  if (--f.pin_count == 0) lru_.push_back(it->second);
+  if (--f.pin_count == 0) shard.lru.push_back(it->second);
 }
 
 Status BufferPool::FlushAll() {
-  for (auto& [page_id, frame] : table_) {
-    Frame& f = frames_[frame];
-    if (f.dirty) {
-      PARTMINER_RETURN_IF_ERROR(disk_->WritePage(page_id, f.data.data()));
-      f.dirty = false;
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto& [page_id, frame] : shard->table) {
+      Frame& f = shard->frames[frame];
+      if (f.dirty) {
+        PARTMINER_RETURN_IF_ERROR(disk_->WritePage(page_id, f.data.data()));
+        f.dirty = false;
+      }
     }
   }
   return Status::Ok();
 }
 
 void BufferPool::Clear() {
-  for (const auto& [page_id, frame] : table_) {
-    PM_CHECK_EQ(frames_[frame].pin_count, 0)
-        << "Clear with pinned page " << page_id;
-  }
-  table_.clear();
-  lru_.clear();
-  free_.clear();
-  for (int i = static_cast<int>(frames_.size()) - 1; i >= 0; --i) {
-    frames_[i] = Frame();
-    free_.push_back(i);
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [page_id, frame] : shard->table) {
+      PM_CHECK_EQ(shard->frames[frame].pin_count, 0)
+          << "Clear with pinned page " << page_id;
+    }
+    shard->table.clear();
+    shard->lru.clear();
+    shard->free.clear();
+    for (int i = static_cast<int>(shard->frames.size()) - 1; i >= 0; --i) {
+      shard->frames[i] = Frame();
+      shard->free.push_back(i);
+    }
   }
 }
 

@@ -2,6 +2,8 @@
 #define PARTMINER_STORAGE_BUFFER_POOL_H_
 
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -16,16 +18,24 @@ namespace partminer {
 ///
 /// Pages are pinned while a caller holds them; unpinned pages are eligible
 /// for eviction. Dirty pages are written back on eviction and on FlushAll.
+///
+/// Concurrency: the pool is split into `shards` independent sub-pools (page
+/// id modulo shard count), each with its own frames, hash table, LRU list
+/// and mutex, so concurrent mining workers contend per shard instead of on
+/// one global lock. Each shard evicts within its own frame budget; IoStats
+/// counters are atomic, so totals stay exact under concurrency. The default
+/// of one shard preserves the exact global-LRU behavior of the serial pool.
 class BufferPool {
  public:
-  /// `frames` is the pool capacity in pages.
-  BufferPool(DiskManager* disk, int frames);
+  /// `frames` is the pool capacity in pages, distributed evenly over
+  /// `shards` (>= 1) sub-pools; `frames` must be at least `shards`.
+  BufferPool(DiskManager* disk, int frames, int shards = 1);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Pins page `id` and returns its frame data (kPageSize bytes), or nullptr
-  /// when every frame is pinned. Call Unpin when done.
+  /// when every frame of the page's shard is pinned. Call Unpin when done.
   char* Fetch(PageId id);
 
   /// Allocates a new page, pinned and zeroed. Sets `*id`.
@@ -40,7 +50,8 @@ class BufferPool {
   /// Drops the cache (pages must be unpinned); used around index rebuilds.
   void Clear();
 
-  int frames() const { return static_cast<int>(frames_.size()); }
+  int frames() const { return total_frames_; }
+  int shards() const { return static_cast<int>(shards_.size()); }
   const IoStats& stats() const { return disk_->stats(); }
 
  private:
@@ -51,15 +62,26 @@ class BufferPool {
     std::vector<char> data;
   };
 
-  /// Returns a free frame index, evicting the LRU unpinned page if needed;
-  /// -1 when everything is pinned.
-  int GetVictim();
+  /// One independent sub-pool. All members are guarded by `mu`.
+  struct Shard {
+    std::mutex mu;
+    std::vector<Frame> frames;
+    std::unordered_map<PageId, int> table;  // page id -> frame index.
+    std::list<int> lru;                     // Unpinned frames, LRU first.
+    std::vector<int> free;                  // Never-used frames.
+  };
+
+  Shard& ShardOf(PageId id) {
+    return *shards_[static_cast<size_t>(id) % shards_.size()];
+  }
+
+  /// Returns a free frame index in `shard`, evicting its LRU unpinned page
+  /// if needed; -1 when everything is pinned. Caller holds shard.mu.
+  int GetVictim(Shard* shard);
 
   DiskManager* disk_;
-  std::vector<Frame> frames_;
-  std::unordered_map<PageId, int> table_;  // page id -> frame index.
-  std::list<int> lru_;                     // Unpinned frames, LRU first.
-  std::vector<int> free_;                  // Never-used frames.
+  int total_frames_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace partminer

@@ -38,13 +38,13 @@ void DiskManager::Close() {
 
 PageId DiskManager::Allocate() {
   PM_CHECK(is_open());
-  return page_count_++;
+  return page_count_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 Status DiskManager::ReadPage(PageId id, char* out) {
   PM_CHECK(is_open());
   PM_CHECK_GE(id, 0);
-  PM_CHECK_LT(id, page_count_);
+  PM_CHECK_LT(id, page_count());
   const ssize_t n =
       ::pread(fd_, out, kPageSize, static_cast<off_t>(id) * kPageSize);
   if (n < 0) {
@@ -61,7 +61,7 @@ Status DiskManager::ReadPage(PageId id, char* out) {
 Status DiskManager::WritePage(PageId id, const char* data) {
   PM_CHECK(is_open());
   PM_CHECK_GE(id, 0);
-  PM_CHECK_LT(id, page_count_);
+  PM_CHECK_LT(id, page_count());
   const ssize_t n =
       ::pwrite(fd_, data, kPageSize, static_cast<off_t>(id) * kPageSize);
   if (n != kPageSize) {

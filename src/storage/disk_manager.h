@@ -1,6 +1,7 @@
 #ifndef PARTMINER_STORAGE_DISK_MANAGER_H_
 #define PARTMINER_STORAGE_DISK_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -33,7 +34,9 @@ class DiskManager {
   void Close();
 
   bool is_open() const { return fd_ >= 0; }
-  int page_count() const { return page_count_; }
+  int page_count() const {
+    return page_count_.load(std::memory_order_acquire);
+  }
 
   /// Allocates a fresh zero page; returns its id.
   PageId Allocate();
@@ -64,7 +67,10 @@ class DiskManager {
 
   int fd_ = -1;
   std::string path_;
-  int page_count_ = 0;
+  /// Atomic: Allocate may be called from concurrent buffer-pool shards.
+  /// Reads/writes to distinct pages go through pread/pwrite, which are
+  /// thread-safe on a shared descriptor.
+  std::atomic<int> page_count_{0};
   int simulated_latency_us_ = 0;
   IoStats stats_;
 };

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
+#include <thread>
+#include <vector>
 
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
@@ -120,6 +123,95 @@ TEST(BufferPoolTest, PinnedPagesSurviveEvictionPressure) {
   }
   EXPECT_EQ(data[7], 99);  // Still resident and intact.
   pool.Unpin(pinned, true);
+}
+
+TEST(BufferPoolTest, ShardedPoolKeepsPagesIntact) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(TempPath("shard")).ok());
+  // 8 frames over 4 shards: shard s caches pages with id % 4 == s.
+  BufferPool pool(&disk, 8, /*shards=*/4);
+  EXPECT_EQ(pool.frames(), 8);
+  EXPECT_EQ(pool.shards(), 4);
+
+  PageId ids[8];
+  for (int i = 0; i < 8; ++i) {
+    char* data = pool.Allocate(&ids[i]);
+    ASSERT_NE(data, nullptr);
+    data[0] = static_cast<char>(i + 1);
+    pool.Unpin(ids[i], true);
+  }
+  for (int i = 0; i < 8; ++i) {
+    char* data = pool.Fetch(ids[i]);
+    ASSERT_NE(data, nullptr);
+    EXPECT_EQ(data[0], static_cast<char>(i + 1));
+    pool.Unpin(ids[i], false);
+  }
+  // Every page fits in its shard (2 frames each), so no eviction happened
+  // and every Fetch above was a hit.
+  EXPECT_EQ(disk.stats().evictions, 0);
+  EXPECT_EQ(disk.stats().pool_hits, 8);
+}
+
+TEST(BufferPoolTest, ShardedEvictionWritesBack) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(TempPath("shardevict")).ok());
+  // 2 shards, 1 frame each: allocating 4 pages evicts within each shard.
+  BufferPool pool(&disk, 2, /*shards=*/2);
+  PageId ids[4];
+  for (int i = 0; i < 4; ++i) {
+    char* data = pool.Allocate(&ids[i]);
+    ASSERT_NE(data, nullptr);
+    data[0] = static_cast<char>(0x10 + i);
+    pool.Unpin(ids[i], true);
+  }
+  EXPECT_GT(disk.stats().evictions, 0);
+  for (int i = 0; i < 4; ++i) {
+    char* data = pool.Fetch(ids[i]);
+    ASSERT_NE(data, nullptr);
+    EXPECT_EQ(data[0], static_cast<char>(0x10 + i));
+    pool.Unpin(ids[i], false);
+  }
+}
+
+TEST(BufferPoolTest, ConcurrentFetchesKeepStatsExact) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(TempPath("conc")).ok());
+  constexpr int kPages = 16;
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 200;
+  BufferPool pool(&disk, kPages, /*shards=*/4);
+
+  PageId ids[kPages];
+  for (int i = 0; i < kPages; ++i) {
+    char* data = pool.Allocate(&ids[i]);
+    ASSERT_NE(data, nullptr);
+    std::memset(data, i + 1, kPageSize);
+    pool.Unpin(ids[i], true);
+  }
+  const int64_t hits_before = disk.stats().pool_hits;
+  const int64_t misses_before = disk.stats().pool_misses;
+
+  std::atomic<int> corrupt{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t]() {
+      for (int r = 0; r < kRounds; ++r) {
+        const int i = (r * (t + 1)) % kPages;
+        char* data = pool.Fetch(ids[i]);
+        if (data == nullptr || data[0] != static_cast<char>(i + 1) ||
+            data[kPageSize - 1] != static_cast<char>(i + 1)) {
+          corrupt.fetch_add(1);
+        }
+        if (data != nullptr) pool.Unpin(ids[i], false);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(corrupt.load(), 0);
+  // Every page stayed resident (capacity == working set), so every fetch
+  // was a hit and the atomic counters account for each one exactly.
+  EXPECT_EQ(disk.stats().pool_hits - hits_before, kThreads * kRounds);
+  EXPECT_EQ(disk.stats().pool_misses, misses_before);
 }
 
 TEST(BufferPoolTest, ClearResetsFrames) {

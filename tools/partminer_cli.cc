@@ -21,6 +21,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -28,6 +29,7 @@
 
 #include "adi/adi_index.h"
 #include "adi/adi_miner.h"
+#include "common/thread_pool.h"
 #include "common/timing.h"
 #include "core/part_miner.h"
 #include "datagen/generator.h"
@@ -183,6 +185,14 @@ int Mine(const std::map<std::string, std::string>& flags) {
     MinerOptions options;
     options.min_support = support_count;
     if (max_edges > 0) options.max_edges = max_edges;
+    // --threads=N parallelizes the search tree on a work-stealing pool;
+    // output is bit-identical to the serial traversal.
+    const int threads = std::atoi(Get(flags, "threads", "0").c_str());
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 0) {
+      pool = std::make_unique<ThreadPool>(threads);
+      options.pool = pool.get();
+    }
     if (algo == "gspan") {
       GSpanMiner miner;
       patterns = miner.Mine(db, options);
