@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "graph/canonical.h"
+#include "graph/label_index.h"
 #include "obs/metrics.h"
 
 namespace partminer {
@@ -93,6 +95,13 @@ void PrintHeader(const std::string& figure, const std::string& description,
               workload_tag.c_str());
   std::printf("figure,series,x,y\n");
   std::fflush(stdout);
+}
+
+void ApplyFastPathFlags(const Flags& flags) {
+  SetLabelIndexEnabled(!flags.Has("no-prune-index"));
+  const bool cache = !flags.Has("no-canon-cache");
+  SetMinimalityCacheEnabled(cache);
+  if (!cache) ClearMinimalityCache();
 }
 
 void MaybeWriteMetrics(const Flags& flags, const std::string& figure) {

@@ -78,6 +78,13 @@ void PrintRow(const std::string& figure, const std::string& series,
 void PrintHeader(const std::string& figure, const std::string& description,
                  const std::string& workload_tag);
 
+/// Applies the support-counting fast-path escape hatches shared by every
+/// harness: --no-prune-index disables the per-database label index,
+/// --no-canon-cache disables the minimality memo cache (and any stale cached
+/// verdicts are dropped so a disabled run never reads them). Mined output is
+/// bit-identical either way; the flags measure what the fast path buys.
+void ApplyFastPathFlags(const Flags& flags);
+
 /// Per-phase metrics export: with --metrics[=path] on the harness command
 /// line, dumps the process metrics registry (counters for extensions,
 /// isomorphism tests, page I/O, merge/verify work, and the phase-latency

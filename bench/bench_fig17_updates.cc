@@ -85,6 +85,7 @@ int main(int argc, char** argv) {
   using namespace partminer::bench;
   using partminer::UpdateKind;
   const Flags flags(argc, argv);
+  ApplyFastPathFlags(flags);
   const WorkloadSpec spec = WorkloadSpec::FromFlags(flags);
   const double sup = flags.GetDouble("sup", 0.04);
   const int k = flags.GetInt("k", 2);

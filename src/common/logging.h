@@ -70,6 +70,18 @@ inline void SetLogLevel(LogLevel level) {
             .stream()                                                     \
         << "Check failed: " #cond " "
 
+/// Debug-only invariant check: compiled to nothing under NDEBUG (the default
+/// RelWithDebInfo build), a full PM_CHECK otherwise. For per-element asserts
+/// on hot paths that would be too expensive to keep in release builds.
+#ifdef NDEBUG
+#define PM_DCHECK(cond) \
+  if (true) {           \
+  } else                \
+    PM_CHECK(cond)
+#else
+#define PM_DCHECK(cond) PM_CHECK(cond)
+#endif
+
 #define PM_CHECK_EQ(a, b) PM_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
 #define PM_CHECK_NE(a, b) PM_CHECK((a) != (b))
 #define PM_CHECK_LT(a, b) PM_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "

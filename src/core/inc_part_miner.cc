@@ -89,16 +89,14 @@ IncPartMinerResult IncPartMiner::Update(PartMiner* state,
   // the per-graph refinement of the paper's per-unit setword — the better
   // the partitioning isolates the updated vertices (Section 4.1), the
   // shorter these lists get outside the hot units.
-  std::vector<std::vector<int>> unit_changed(part.k());
+  // TidSet::Add keeps each set deduplicated and ordered as it is built; no
+  // sort/unique pass over the lists afterwards.
+  std::vector<TidSet> unit_changed(part.k());
   for (const auto& [graph_index, v] : log.touched_vertices) {
     const SetWord units = part.TouchedUnits(new_db, {{graph_index, v}});
     for (int j = 0; j < part.k(); ++j) {
-      if (units.Test(j)) unit_changed[j].push_back(graph_index);
+      if (units.Test(j)) unit_changed[j].Add(graph_index);
     }
-  }
-  for (std::vector<int>& list : unit_changed) {
-    std::sort(list.begin(), list.end());
-    list.erase(std::unique(list.begin(), list.end()), list.end());
   }
 
   // Re-mine only the touched units (Figure 12 lines 3-5) and only against
@@ -128,7 +126,7 @@ IncPartMinerResult IncPartMiner::Update(PartMiner* state,
     const int unit_index = tree[node].lo;
     PM_TRACE_SPAN("inc_unit_mine",
                   {{"unit", unit_index},
-                   {"changed_graphs", unit_changed[unit_index].size()}});
+                   {"changed_graphs", unit_changed[unit_index].Count()}});
     Stopwatch watch;
     const GraphDatabase unit_db = part.MaterializeUnit(new_db, unit_index);
     MergeJoinOptions leaf_options;
@@ -136,9 +134,10 @@ IncPartMinerResult IncPartMiner::Update(PartMiner* state,
     leaf_options.max_edges = state->options().max_edges;
     leaf_options.delta_sweep_max_fraction =
         state->options().inc_delta_sweep_max_fraction;
-    fresh_sets[idx] =
-        IncMergeJoin(unit_db, node_patterns[node], unit_changed[unit_index],
-                     leaf_options, &task_stats[idx], &node_frontiers[node]);
+    fresh_sets[idx] = IncMergeJoin(unit_db, node_patterns[node],
+                                   unit_changed[unit_index].ToVector(),
+                                   leaf_options, &task_stats[idx],
+                                   &node_frontiers[node]);
     result.unit_mining_seconds[unit_index] = watch.ElapsedSeconds();
   };
   const int threads = state->options().unit_mining_threads;
@@ -148,8 +147,8 @@ IncPartMinerResult IncPartMiner::Update(PartMiner* state,
     std::vector<size_t> order(touched_nodes.size());
     for (size_t i = 0; i < order.size(); ++i) order[i] = i;
     std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return unit_changed[tree[touched_nodes[a]].lo].size() >
-             unit_changed[tree[touched_nodes[b]].lo].size();
+      return unit_changed[tree[touched_nodes[a]].lo].Count() >
+             unit_changed[tree[touched_nodes[b]].lo].Count();
     });
     ThreadPool pool(threads);
     std::atomic<size_t> next{0};

@@ -95,13 +95,13 @@ class DeltaSweep {
  public:
   DeltaSweep(const GraphDatabase& node_db, const GraphDatabase& upd_db,
              const PatternSet& cached, FrontierMap* frontier,
-             std::vector<int> updated, const MergeJoinOptions& options,
+             TidSet updated_set, const MergeJoinOptions& options,
              PatternSet* out, MergeJoinStats* stats)
       : node_db_(node_db),
         upd_db_(upd_db),
         cached_(cached),
         frontier_(frontier),
-        updated_(std::move(updated)),
+        updated_set_(std::move(updated_set)),
         options_(options),
         out_(out),
         stats_(stats) {}
@@ -115,12 +115,7 @@ class DeltaSweep {
     if (frontier_ != nullptr) {
       for (auto& [code, tids] : *frontier_) {
         (void)code;
-        const auto new_end = std::remove_if(
-            tids.begin(), tids.end(), [this](int tid) {
-              return std::binary_search(updated_.begin(), updated_.end(),
-                                        tid);
-            });
-        tids.erase(new_end, tids.end());
+        tids -= updated_set_;
       }
     }
     engine::ExtensionMap roots = engine::CollectRootExtensions(upd_db_);
@@ -133,41 +128,32 @@ class DeltaSweep {
   }
 
  private:
-  /// Pre-update TID list of `code` restricted to non-updated graphs. The
-  /// frontier was stripped of updated TIDs before the sweep, and cached
-  /// patterns are stripped here.
-  std::vector<int> KeptTids(const DfsCode& code) const {
+  /// Exact post-update TIDs: (old \ updated) ∪ hits-in-updated, three word-
+  /// wise bitset passes with no per-candidate vector materialization (the
+  /// former KeptTids/NewTids set_difference+merge pair, folded). The pre-
+  /// update set comes from the node cache (stripped here) or the frontier
+  /// (stripped once up front in Run()); absent means zero pre-update
+  /// occurrences.
+  TidSet NewTids(const DfsCode& code, const TidSet& upd_hits) const {
+    TidSet tids;
     const PatternInfo* info = cached_.Find(code);
     if (info != nullptr) {
-      std::vector<int> kept;
-      std::set_difference(info->tids.begin(), info->tids.end(),
-                          updated_.begin(), updated_.end(),
-                          std::back_inserter(kept));
-      return kept;
-    }
-    if (frontier_ != nullptr) {
+      tids = info->tids;
+      tids -= updated_set_;
+    } else if (frontier_ != nullptr) {
       const auto it = frontier_->find(code);
-      if (it != frontier_->end()) return it->second;  // Already stripped.
+      if (it != frontier_->end()) tids = it->second;  // Already stripped.
     }
-    return {};
-  }
-
-  /// Exact post-update TIDs: (old \ updated) ∪ hits-in-updated.
-  std::vector<int> NewTids(const DfsCode& code,
-                           const std::vector<int>& upd_hits) const {
-    const std::vector<int> kept = KeptTids(code);
-    std::vector<int> merged;
-    std::merge(kept.begin(), kept.end(), upd_hits.begin(), upd_hits.end(),
-               std::back_inserter(merged));
-    return merged;
+    tids |= upd_hits;
+    return tids;
   }
 
   /// Processes one extension group reached through the updated graphs.
   void Handle(DfsCode* code, const engine::Projected& projected) {
     ++stats_->candidates_generated;
-    const std::vector<int> upd_hits = engine::TidsOf(projected);
-    std::vector<int> tids = NewTids(*code, upd_hits);
-    const int support = static_cast<int>(tids.size());
+    const TidSet upd_hits = engine::TidSetOf(projected);
+    TidSet tids = NewTids(*code, upd_hits);
+    const int support = tids.Count();
     const bool was_cached = cached_.Contains(*code);
 
     if (support < options_.min_support) {
@@ -188,7 +174,7 @@ class DeltaSweep {
       ++stats_->spanning_found;
       ++stats_->candidates_counted;
       if (frontier_ != nullptr) frontier_->erase(*code);  // Promoted.
-      FullGrow(code, tids);
+      FullGrow(code, tids.ToVector());
       return;
     }
 
@@ -225,7 +211,7 @@ class DeltaSweep {
     PatternInfo info;
     info.code = *code;
     info.support = engine::SupportOf(projected);
-    info.tids = engine::TidsOf(projected);
+    info.tids = engine::TidSetOf(projected);
     out_->Upsert(std::move(info));
 
     if (static_cast<int>(code->size()) >= options_.max_edges) return;
@@ -235,12 +221,12 @@ class DeltaSweep {
       code->Append(tuple);
       if (engine::SupportOf(child_projected) < options_.min_support) {
         if (frontier_ != nullptr) {
-          (*frontier_)[*code] = engine::TidsOf(child_projected);
+          (*frontier_)[*code] = engine::TidSetOf(child_projected);
         }
       } else if (IsMinimalDfsCode(*code)) {
         GrowFrom(code, child_projected);
       } else if (frontier_ != nullptr) {
-        (*frontier_)[*code] = engine::TidsOf(child_projected);
+        (*frontier_)[*code] = engine::TidSetOf(child_projected);
       }
       code->PopBack();
     }
@@ -265,7 +251,7 @@ class DeltaSweep {
   const GraphDatabase& upd_db_;
   const PatternSet& cached_;
   FrontierMap* frontier_;
-  std::vector<int> updated_;
+  const TidSet updated_set_;
   const MergeJoinOptions& options_;
   PatternSet* out_;
   MergeJoinStats* stats_;
@@ -332,15 +318,16 @@ PatternSet IncMergeJoin(const GraphDatabase& node_db, const PatternSet& cached,
   // non-updated graphs is unchanged, so (old tids \ updated) is a certified
   // lower bound; patterns the sweep reaches below are overwritten with their
   // full post-update info (which can only add updated-graph hits).
+  const TidSet updated_set = TidSet::FromVector(updated);
   PatternSet out;
   for (const PatternInfo& p : cached.patterns()) {
     if (static_cast<int>(p.code.size()) > options.max_edges) continue;
     ++s->delta_recounts;
     PatternInfo q;
     q.code = p.code;
-    std::set_difference(p.tids.begin(), p.tids.end(), updated.begin(),
-                        updated.end(), std::back_inserter(q.tids));
-    q.support = static_cast<int>(q.tids.size());
+    q.tids = p.tids;
+    q.tids -= updated_set;
+    q.support = q.tids.Count();
     if (q.support >= options.min_support) out.Upsert(std::move(q));
   }
 
@@ -357,7 +344,7 @@ PatternSet IncMergeJoin(const GraphDatabase& node_db, const PatternSet& cached,
         upd_db.Add(Graph(), node_db.gid(i));
       }
     }
-    DeltaSweep sweep(node_db, upd_db, cached, &frontier->map, updated,
+    DeltaSweep sweep(node_db, upd_db, cached, &frontier->map, updated_set,
                      options, &out, s);
     sweep.Run();
   }

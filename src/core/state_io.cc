@@ -22,9 +22,12 @@ void WriteCode(const DfsCode& code, std::ostream& out) {
   }
 }
 
-void WriteTids(const std::vector<int>& tids, std::ostream& out) {
-  out << tids.size();
-  for (const int t : tids) out << ' ' << t;
+// TidSets round-trip through their ascending vector form, keeping the text
+// format identical to the pre-bitset one.
+void WriteTids(const TidSet& tids, std::ostream& out) {
+  const std::vector<int> v = tids.ToVector();
+  out << v.size();
+  for (const int t : v) out << ' ' << t;
 }
 
 void WritePatternSet(const PatternSet& set, std::ostream& out) {
@@ -63,15 +66,15 @@ Status ReadCode(std::istream& in, DfsCode* code) {
   return Status::Ok();
 }
 
-Status ReadTids(std::istream& in, std::vector<int>* tids) {
+Status ReadTids(std::istream& in, TidSet* tids) {
   size_t count = 0;
   if (!(in >> count)) return Status::Corruption("bad tid count");
-  tids->clear();
-  tids->reserve(count);
+  tids->Clear();
   for (size_t i = 0; i < count; ++i) {
     int t = 0;
     if (!(in >> t)) return Status::Corruption("bad tid");
-    tids->push_back(t);
+    if (t < 0) return Status::Corruption("negative tid");
+    tids->Add(t);
   }
   return Status::Ok();
 }
@@ -109,7 +112,7 @@ Status ReadFrontier(std::istream& in, NodeFrontier* frontier) {
   for (size_t i = 0; i < count; ++i) {
     DfsCode code;
     PARTMINER_RETURN_IF_ERROR(ReadCode(in, &code));
-    std::vector<int> tids;
+    TidSet tids;
     PARTMINER_RETURN_IF_ERROR(ReadTids(in, &tids));
     frontier->map.emplace(std::move(code), std::move(tids));
   }

@@ -1,12 +1,14 @@
 #include "core/verify.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_set>
 
 #include "common/logging.h"
 #include "core/merge_join.h"
 #include "graph/canonical.h"
 #include "graph/isomorphism.h"
+#include "graph/label_index.h"
 #include "obs/metrics.h"
 
 namespace partminer {
@@ -43,33 +45,50 @@ std::vector<std::vector<const PatternInfo*>> ByLevel(
 }
 
 /// Finds the verified (k-1)-subpattern of `pattern` with the smallest TID
-/// list; returns nullptr when none of the subpatterns verified (Apriori:
+/// set; returns nullptr when none of the subpatterns verified (Apriori:
 /// the pattern is infrequent).
 const PatternInfo* SmallestVerifiedParent(const Graph& pattern,
                                           const PatternSet& verified) {
   const PatternInfo* best = nullptr;
+  int best_count = 0;
   ForEachMaximalSubpattern(pattern, [&](const DfsCode& sub) {
     const PatternInfo* info = verified.Find(sub);
-    if (info != nullptr &&
-        (best == nullptr || info->tids.size() < best->tids.size())) {
+    if (info == nullptr) return;
+    const int count = info->tids.Count();
+    if (best == nullptr || count < best_count) {
       best = info;
+      best_count = count;
     }
   });
   return best;
 }
 
-using DeltaContext = struct {
+struct DeltaContext {
   const PatternSet* old_verified;
-  const std::vector<int>* updated_graphs;
+  TidSet updated_set;
 };
+
+/// Intersects `scan` with the label-index candidates for `pattern` and
+/// records the graphs the index ruled out; no-op when the index is absent.
+/// The index candidates are a superset of the true TIDs, so intersecting can
+/// never drop a graph the isomorphism test would have accepted.
+void PruneWithIndex(const LabelIndex* index, const Graph& pattern,
+                    TidSet* scan) {
+  if (index == nullptr) return;
+  const int before = scan->Count();
+  *scan &= index->CandidatesFor(pattern);
+  PM_METRIC_COUNTER("prune.graphs_skipped")->Add(before - scan->Count());
+}
 
 /// Counts `candidate` on `db` exactly. Order of preference: trust an
 /// already-exact candidate, delta recount (old info available),
-/// parent-TID-restricted count, full scan (1-edge or no parent info).
+/// parent-TID-restricted count, full scan (1-edge or no parent info). Every
+/// counting path first narrows its scan set through the label index when one
+/// is supplied.
 bool CountPattern(const GraphDatabase& db, const PatternInfo& candidate,
                   const PatternSet& verified, int min_support,
-                  const DeltaContext* delta, VerifyStats* stats,
-                  PatternInfo* out) {
+                  const DeltaContext* delta, const LabelIndex* index,
+                  VerifyStats* stats, PatternInfo* out) {
   const DfsCode& code = candidate.code;
   if (candidate.exact_tids) {
     // Counted exactly against `db` upstream (the root merge node's database
@@ -83,24 +102,22 @@ bool CountPattern(const GraphDatabase& db, const PatternInfo& candidate,
   if (delta != nullptr) {
     const PatternInfo* old_info = delta->old_verified->Find(code);
     if (old_info != nullptr) {
-      // Delta recount: only updated graphs can change containment.
-      std::vector<int> tids;
-      std::set_difference(old_info->tids.begin(), old_info->tids.end(),
-                          delta->updated_graphs->begin(),
-                          delta->updated_graphs->end(),
-                          std::back_inserter(tids));
+      // Delta recount: only updated graphs can change containment, so
+      // tids = (old \ updated) ∪ hits-among-updated.
+      TidSet tids = old_info->tids;
+      tids -= delta->updated_set;
+      TidSet scan = delta->updated_set;
+      PruneWithIndex(index, pattern, &scan);
+      stats->graphs_examined += scan.Count();
       const SubgraphMatcher matcher(pattern);
-      std::vector<int> updated_hits;
-      stats->graphs_examined +=
-          static_cast<int64_t>(delta->updated_graphs->size());
-      matcher.CountSupportAmong(db, *delta->updated_graphs, &updated_hits);
-      std::vector<int> merged;
-      std::merge(tids.begin(), tids.end(), updated_hits.begin(),
-                 updated_hits.end(), std::back_inserter(merged));
-      if (static_cast<int>(merged.size()) < min_support) return false;
+      TidSet updated_hits;
+      matcher.CountSupportAmong(db, scan, &updated_hits);
+      tids |= updated_hits;
+      const int support = tids.Count();
+      if (support < min_support) return false;
       out->code = code;
-      out->support = static_cast<int>(merged.size());
-      out->tids = std::move(merged);
+      out->support = support;
+      out->tids = std::move(tids);
       return true;
     }
   }
@@ -108,16 +125,26 @@ bool CountPattern(const GraphDatabase& db, const PatternInfo& candidate,
   const SubgraphMatcher matcher(pattern);
   if (code.size() == 1) {
     ++stats->full_scans;
-    stats->graphs_examined += db.size();
-    out->support = matcher.CountSupport(db, &out->tids);
+    if (index != nullptr) {
+      TidSet scan = index->CandidatesFor(pattern);
+      PM_METRIC_COUNTER("prune.graphs_skipped")
+          ->Add(db.size() - scan.Count());
+      stats->graphs_examined += scan.Count();
+      out->support = matcher.CountSupportAmong(db, scan, &out->tids);
+    } else {
+      stats->graphs_examined += db.size();
+      out->support = matcher.CountSupport(db, &out->tids);
+    }
   } else {
     const PatternInfo* parent = SmallestVerifiedParent(pattern, verified);
     if (parent == nullptr) {
       ++stats->apriori_dropped;
       return false;
     }
-    stats->graphs_examined += static_cast<int64_t>(parent->tids.size());
-    out->support = matcher.CountSupportAmong(db, parent->tids, &out->tids);
+    TidSet scan = parent->tids;
+    PruneWithIndex(index, pattern, &scan);
+    stats->graphs_examined += scan.Count();
+    out->support = matcher.CountSupportAmong(db, scan, &out->tids);
   }
   if (out->support < min_support) return false;
   out->code = code;
@@ -133,12 +160,19 @@ PatternSet Verify(const GraphDatabase& db, const PatternSet& candidates,
   VerifyStats* s = &local;
   s->patterns_in += candidates.size();
 
+  // The shared_ptr keeps the index alive across the whole pass even if the
+  // database is mutated concurrently (it is not, but the ownership is free).
+  std::shared_ptr<const LabelIndex> index;
+  if (LabelIndexEnabled() && !db.empty() && !candidates.empty()) {
+    index = db.label_index();
+  }
+
   PatternSet verified;
   for (const std::vector<const PatternInfo*>& level : ByLevel(candidates)) {
     for (const PatternInfo* candidate : level) {
       PatternInfo info;
-      if (CountPattern(db, *candidate, verified, min_support, delta, s,
-                       &info)) {
+      if (CountPattern(db, *candidate, verified, min_support, delta,
+                       index.get(), s, &info)) {
         verified.Upsert(std::move(info));
         ++s->patterns_kept;
       }
@@ -160,9 +194,7 @@ PatternSet VerifyDelta(const GraphDatabase& db, const PatternSet& candidates,
                        const PatternSet& old_verified,
                        const std::vector<int>& updated_graphs,
                        int min_support, VerifyStats* stats) {
-  std::vector<int> sorted_updated = updated_graphs;
-  std::sort(sorted_updated.begin(), sorted_updated.end());
-  DeltaContext delta{&old_verified, &sorted_updated};
+  DeltaContext delta{&old_verified, TidSet::FromVector(updated_graphs)};
   return Verify(db, candidates, min_support, &delta, stats);
 }
 

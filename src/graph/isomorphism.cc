@@ -136,6 +136,31 @@ int SubgraphMatcher::CountSupportAmong(const GraphDatabase& db,
   return support;
 }
 
+int SubgraphMatcher::CountSupport(const GraphDatabase& db,
+                                  TidSet* tids) const {
+  int support = 0;
+  for (int i = 0; i < db.size(); ++i) {
+    if (Matches(db.graph(i))) {
+      ++support;
+      if (tids != nullptr) tids->Add(i);
+    }
+  }
+  return support;
+}
+
+int SubgraphMatcher::CountSupportAmong(const GraphDatabase& db,
+                                       const TidSet& candidates,
+                                       TidSet* tids) const {
+  int support = 0;
+  candidates.ForEach([&](int i) {
+    if (Matches(db.graph(i))) {
+      ++support;
+      if (tids != nullptr) tids->Add(i);
+    }
+  });
+  return support;
+}
+
 bool ContainsSubgraph(const Graph& host, const Graph& pattern) {
   return SubgraphMatcher(pattern).Matches(host);
 }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/tid_set.h"
 
 namespace partminer {
 
@@ -28,6 +29,7 @@ class SubgraphMatcher {
   /// Number of database graphs containing the pattern. When `tids` is
   /// non-null it receives the indices of the containing graphs.
   int CountSupport(const GraphDatabase& db, std::vector<int>* tids) const;
+  int CountSupport(const GraphDatabase& db, TidSet* tids) const;
 
   /// Like CountSupport but only examines `candidates` (database indices);
   /// used with TID lists to avoid scanning graphs that cannot contain the
@@ -35,6 +37,8 @@ class SubgraphMatcher {
   int CountSupportAmong(const GraphDatabase& db,
                         const std::vector<int>& candidates,
                         std::vector<int>* tids) const;
+  int CountSupportAmong(const GraphDatabase& db, const TidSet& candidates,
+                        TidSet* tids) const;
 
  private:
   struct Constraint {

@@ -1,0 +1,106 @@
+#include "graph/tid_set.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace partminer {
+
+TidSet TidSet::FromVector(const std::vector<int>& tids) {
+  TidSet set;
+  if (!tids.empty()) {
+    const int max_tid = *std::max_element(tids.begin(), tids.end());
+    set.words_.resize(static_cast<std::size_t>(max_tid) / 64 + 1, 0);
+  }
+  for (const int tid : tids) set.Add(tid);
+  return set;
+}
+
+void TidSet::Add(int tid) {
+  PM_CHECK_GE(tid, 0);
+  const std::size_t w = static_cast<std::size_t>(tid) / 64;
+  if (w >= words_.size()) words_.resize(w + 1, 0);
+  words_[w] |= uint64_t{1} << (tid % 64);
+}
+
+void TidSet::Remove(int tid) {
+  const std::size_t w = static_cast<std::size_t>(tid) / 64;
+  if (w >= words_.size()) return;
+  words_[w] &= ~(uint64_t{1} << (tid % 64));
+  Trim();
+}
+
+bool TidSet::Contains(int tid) const {
+  if (tid < 0) return false;
+  const std::size_t w = static_cast<std::size_t>(tid) / 64;
+  return w < words_.size() && (words_[w] >> (tid % 64)) & 1;
+}
+
+int TidSet::Count() const {
+  int count = 0;
+  for (const uint64_t word : words_) count += __builtin_popcountll(word);
+  return count;
+}
+
+std::vector<int> TidSet::ToVector() const {
+  std::vector<int> out;
+  out.reserve(Count());
+  ForEach([&out](int tid) { out.push_back(tid); });
+  return out;
+}
+
+TidSet& TidSet::operator&=(const TidSet& other) {
+  if (words_.size() > other.words_.size()) {
+    words_.resize(other.words_.size());
+  }
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    words_[w] &= other.words_[w];
+  }
+  Trim();
+  return *this;
+}
+
+TidSet& TidSet::operator|=(const TidSet& other) {
+  if (words_.size() < other.words_.size()) {
+    words_.resize(other.words_.size(), 0);
+  }
+  for (std::size_t w = 0; w < other.words_.size(); ++w) {
+    words_[w] |= other.words_[w];
+  }
+  return *this;
+}
+
+TidSet& TidSet::operator-=(const TidSet& other) {
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t w = 0; w < n; ++w) {
+    words_[w] &= ~other.words_[w];
+  }
+  Trim();
+  return *this;
+}
+
+bool TidSet::Includes(const TidSet& other) const {
+  if (other.words_.size() > words_.size()) return false;
+  for (std::size_t w = 0; w < other.words_.size(); ++w) {
+    if ((other.words_[w] & ~words_[w]) != 0) return false;
+  }
+  return true;
+}
+
+void TidSet::Trim() {
+  while (!words_.empty() && words_.back() == 0) words_.pop_back();
+}
+
+std::ostream& operator<<(std::ostream& os, const TidSet& set) {
+  os << '{';
+  bool first = true;
+  set.ForEach([&](int tid) {
+    if (!first) os << ", ";
+    first = false;
+    os << tid;
+  });
+  return os << '}';
+}
+
+}  // namespace partminer

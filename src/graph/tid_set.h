@@ -1,0 +1,81 @@
+#ifndef PARTMINER_GRAPH_TID_SET_H_
+#define PARTMINER_GRAPH_TID_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace partminer {
+
+/// A dense bitset over database graph indices (TIDs), one bit per graph in
+/// 64-bit words. This is the set representation behind every TID list in the
+/// mining stack: intersect/union/difference are word-wide operations and
+/// support is a popcount, which turns the merge-join's per-candidate set
+/// arithmetic (kept = cached \ updated, new = kept ∪ hits) and the label
+/// index's candidate pruning into a handful of machine instructions per 64
+/// graphs instead of per-element merges of sorted vectors.
+///
+/// Invariant: no trailing zero words. Every mutator restores it, so equality
+/// is plain word-vector equality regardless of what capacity the operands
+/// ever reached, and Empty() is words_.empty().
+class TidSet {
+ public:
+  TidSet() = default;
+
+  /// Builds from a list of TIDs (any order, duplicates fine).
+  static TidSet FromVector(const std::vector<int>& tids);
+
+  void Add(int tid);
+  void Remove(int tid);
+  bool Contains(int tid) const;
+
+  /// Number of TIDs present (the support).
+  int Count() const;
+  bool Empty() const { return words_.empty(); }
+  void Clear() { words_.clear(); }
+
+  /// Ascending list of the TIDs present.
+  std::vector<int> ToVector() const;
+
+  /// In-place intersection / union / difference.
+  TidSet& operator&=(const TidSet& other);
+  TidSet& operator|=(const TidSet& other);
+  TidSet& operator-=(const TidSet& other);
+
+  /// True when `other` is a subset of this set.
+  bool Includes(const TidSet& other) const;
+
+  /// Calls `fn(tid)` for every member in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(static_cast<int>(w) * 64 + bit);
+        word &= word - 1;
+      }
+    }
+  }
+
+  friend bool operator==(const TidSet& a, const TidSet& b) {
+    return a.words_ == b.words_;
+  }
+  friend bool operator!=(const TidSet& a, const TidSet& b) {
+    return !(a == b);
+  }
+
+  /// Renders as "{0, 3, 17}" — picked up by gtest failure messages.
+  friend std::ostream& operator<<(std::ostream& os, const TidSet& set);
+
+ private:
+  /// Drops trailing zero words (restores the class invariant).
+  void Trim();
+
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace partminer
+
+#endif  // PARTMINER_GRAPH_TID_SET_H_

@@ -1,8 +1,10 @@
 #include "miner/apriori.h"
 
+#include <memory>
 #include <vector>
 
 #include "graph/isomorphism.h"
+#include "graph/label_index.h"
 #include "miner/extensions.h"
 
 namespace partminer {
@@ -16,10 +18,13 @@ PatternSet AprioriMiner::Mine(const GraphDatabase& db,
   PatternSet out = vocabulary;
   stats_.frequent_found += out.size();
 
+  std::shared_ptr<const LabelIndex> index;
+  if (LabelIndexEnabled()) index = db.label_index();
+
   // Level-wise generate-and-count.
   for (int k = 1; k < options.max_edges; ++k) {
     // Snapshot the level (Upserts below may reallocate).
-    std::vector<std::pair<DfsCode, std::vector<int>>> level;
+    std::vector<std::pair<DfsCode, TidSet>> level;
     for (const PatternInfo* p : out.WithEdgeCount(k)) {
       level.emplace_back(p->code, p->tids);
     }
@@ -30,12 +35,16 @@ PatternSet AprioriMiner::Mine(const GraphDatabase& db,
       for (const DfsCode& candidate : RightmostExtensions(base, vocabulary)) {
         ++stats_.candidates_generated;
         if (out.Contains(candidate)) continue;  // Reached from another base.
-        // Count within the generating parent's TID list (any occurrence of
-        // the candidate contains an occurrence of the parent).
+        // Count within the generating parent's TID set (any occurrence of
+        // the candidate contains an occurrence of the parent), narrowed
+        // further by the label index when enabled.
         ++stats_.candidates_counted;
-        const SubgraphMatcher matcher(candidate.ToGraph());
+        const Graph pattern = candidate.ToGraph();
+        const SubgraphMatcher matcher(pattern);
+        TidSet among = base_tids;
+        if (index != nullptr) among &= index->CandidatesFor(pattern);
         PatternInfo info;
-        info.support = matcher.CountSupportAmong(db, base_tids, &info.tids);
+        info.support = matcher.CountSupportAmong(db, among, &info.tids);
         if (info.support < options.min_support) continue;
         info.code = candidate;
         out.Upsert(std::move(info));

@@ -59,8 +59,8 @@ void Enumerate(const Graph& g, const std::vector<EdgeEntry>& edges,
 
 PatternSet BruteForceMiner::Mine(const GraphDatabase& db,
                                  const MinerOptions& options) {
-  // Canonical code -> TID list.
-  std::unordered_map<DfsCode, std::vector<int>, DfsCodeHash> counts;
+  // Canonical code -> TID set.
+  std::unordered_map<DfsCode, TidSet, DfsCodeHash> counts;
 
   for (int gi = 0; gi < db.size(); ++gi) {
     const Graph& g = db.graph(gi);
@@ -78,15 +78,16 @@ PatternSet BruteForceMiner::Mine(const GraphDatabase& db,
       vertex_in[edges[seed].from] = false;
       vertex_in[edges[seed].to] = false;
     }
-    for (const DfsCode& code : codes) counts[code].push_back(gi);
+    for (const DfsCode& code : codes) counts[code].Add(gi);
   }
 
   PatternSet out;
   for (auto& [code, tids] : counts) {
-    if (static_cast<int>(tids.size()) < options.min_support) continue;
+    const int support = tids.Count();
+    if (support < options.min_support) continue;
     PatternInfo info;
     info.code = code;
-    info.support = static_cast<int>(tids.size());
+    info.support = support;
     info.tids = std::move(tids);
     out.Upsert(std::move(info));
   }

@@ -27,11 +27,8 @@ bool Covers(const PatternInfo& super, const PatternInfo& sub,
             bool require_equal_support) {
   if (require_equal_support && super.support != sub.support) return false;
   // TID inclusion is a necessary condition and much cheaper than the
-  // isomorphism check (tids are sorted).
-  if (!std::includes(sub.tids.begin(), sub.tids.end(), super.tids.begin(),
-                     super.tids.end())) {
-    return false;
-  }
+  // isomorphism check (word-wise subset test on the bitsets).
+  if (!sub.tids.Includes(super.tids)) return false;
   return ContainsSubgraph(super.code.ToGraph(), sub.code.ToGraph());
 }
 

@@ -367,7 +367,23 @@ std::vector<int> TidsOf(const Projected& projected) {
   int last = -1;
   for (const Embedding& e : projected) {
     if (e.graph_index != last) {
+      // Embeddings are grouped by graph in ascending database order; the
+      // delta-merge set arithmetic and TidSet construction both rely on it.
+      PM_DCHECK(e.graph_index > last);
       tids.push_back(e.graph_index);
+      last = e.graph_index;
+    }
+  }
+  return tids;
+}
+
+TidSet TidSetOf(const Projected& projected) {
+  TidSet tids;
+  int last = -1;
+  for (const Embedding& e : projected) {
+    if (e.graph_index != last) {
+      PM_DCHECK(e.graph_index > last);
+      tids.Add(e.graph_index);
       last = e.graph_index;
     }
   }

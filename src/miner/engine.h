@@ -8,6 +8,7 @@
 
 #include "graph/dfs_code.h"
 #include "graph/graph.h"
+#include "graph/tid_set.h"
 #include "miner/miner.h"
 
 namespace partminer {
@@ -146,6 +147,9 @@ int SupportOf(const Projected& projected);
 
 /// Distinct database indices of an embedding list, ascending.
 std::vector<int> TidsOf(const Projected& projected);
+
+/// TidsOf as a TidSet — the form PatternInfo and the frontier store.
+TidSet TidSetOf(const Projected& projected);
 
 }  // namespace engine
 }  // namespace partminer

@@ -11,29 +11,26 @@
 namespace partminer {
 
 PatternSet FrequentSingleEdges(const GraphDatabase& db, int min_support) {
-  // Canonical 1-edge code -> TID list, one database scan.
-  std::map<std::tuple<Label, Label, Label>, std::vector<int>> tids;
+  // Canonical 1-edge code -> TID set, one database scan. TidSet::Add is
+  // idempotent, so repeated triples within a graph need no dedup pass.
+  std::map<std::tuple<Label, Label, Label>, TidSet> tids;
   for (int i = 0; i < db.size(); ++i) {
     const Graph& g = db.graph(i);
-    std::unordered_set<int64_t> seen;  // Per-graph triple dedup.
     for (const EdgeEntry& e : g.UndirectedEdges()) {
       Label a = g.vertex_label(e.from);
       Label b = g.vertex_label(e.to);
       if (a > b) std::swap(a, b);
-      const int64_t key = (static_cast<int64_t>(a) << 42) ^
-                          (static_cast<int64_t>(e.label) << 21) ^ b;
-      if (seen.insert(key).second) {
-        tids[{a, e.label, b}].push_back(i);
-      }
+      tids[{a, e.label, b}].Add(i);
     }
   }
   PatternSet out;
   for (auto& [triple, list] : tids) {
-    if (static_cast<int>(list.size()) < min_support) continue;
+    const int support = list.Count();
+    if (support < min_support) continue;
     PatternInfo info;
     info.code.Append(DfsEdge{0, 1, std::get<0>(triple), std::get<1>(triple),
                              std::get<2>(triple)});
-    info.support = static_cast<int>(list.size());
+    info.support = support;
     info.tids = std::move(list);
     out.Upsert(std::move(info));
   }

@@ -203,7 +203,7 @@ void GrowChildrenParallel(const GastonContext& ctx, DfsCode* code,
       if (engine::SupportOf(child_projected) < ctx.options->min_support) {
         if (target == Phase::kCyclic &&  // Capture once (the last pass).
             frontier != nullptr) {
-          frontier->emplace(*code, engine::TidsOf(child_projected));
+          frontier->emplace(*code, engine::TidSetOf(child_projected));
         }
       } else if (child_phase == target) {
         jobs.push_back(PhasedJob{*code, &child_projected, child_phase});
@@ -225,7 +225,7 @@ void GrowChildrenParallel(const GastonContext& ctx, DfsCode* code,
                      &slot.patterns, want_frontier ? &slot.frontier : nullptr,
                      &slot.stats);
         } else if (want_frontier) {
-          slot.frontier.emplace(job.code, engine::TidsOf(*job.projected));
+          slot.frontier.emplace(job.code, engine::TidSetOf(*job.projected));
         }
       });
     }
@@ -244,7 +244,7 @@ void GrowPhased(const GastonContext& ctx, DfsCode* code,
   PatternInfo info;
   info.code = *code;
   info.support = engine::SupportOf(projected);
-  info.tids = engine::TidsOf(projected);
+  info.tids = engine::TidSetOf(projected);
   out->Upsert(std::move(info));
   switch (phase) {
     case Phase::kPath: ++stats->frequent_paths; break;
@@ -280,14 +280,14 @@ void GrowPhased(const GastonContext& ctx, DfsCode* code,
       if (engine::SupportOf(child_projected) < ctx.options->min_support) {
         if (target == Phase::kCyclic &&  // Capture once (the last pass).
             frontier != nullptr) {
-          frontier->emplace(*code, engine::TidsOf(child_projected));
+          frontier->emplace(*code, engine::TidSetOf(child_projected));
         }
       } else if (child_phase == target) {
         if (CheckMinimal(*code, child_phase, stats)) {
           GrowPhased(ctx, code, child_projected, child_phase, depth + 1, out,
                      frontier, stats);
         } else if (frontier != nullptr) {
-          frontier->emplace(*code, engine::TidsOf(child_projected));
+          frontier->emplace(*code, engine::TidSetOf(child_projected));
         }
       }
       code->PopBack();
@@ -312,7 +312,7 @@ PatternSet GastonMiner::Mine(const GraphDatabase& db,
       code.Append(tuple);
       if (engine::SupportOf(projected) < options.min_support) {
         if (frontier != nullptr) {
-          frontier->emplace(code, engine::TidsOf(projected));
+          frontier->emplace(code, engine::TidSetOf(projected));
         }
       } else {
         GrowPhased(ctx, &code, projected, Phase::kPath, /*depth=*/0, &out,
@@ -328,7 +328,7 @@ PatternSet GastonMiner::Mine(const GraphDatabase& db,
       code.Append(tuple);
       if (engine::SupportOf(projected) < options.min_support) {
         if (frontier != nullptr) {
-          frontier->emplace(code, engine::TidsOf(projected));
+          frontier->emplace(code, engine::TidSetOf(projected));
         }
       } else {
         jobs.push_back(PhasedJob{code, &projected, Phase::kPath});

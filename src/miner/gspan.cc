@@ -51,7 +51,7 @@ void GrowChildrenParallel(const GrowContext& ctx, DfsCode* code,
     code->Append(tuple);
     if (engine::SupportOf(child_projected) < ctx.options->min_support) {
       if (frontier != nullptr) {
-        frontier->emplace(*code, engine::TidsOf(child_projected));
+        frontier->emplace(*code, engine::TidSetOf(child_projected));
       }
     } else {
       jobs.push_back(Job{*code, &child_projected});
@@ -73,7 +73,7 @@ void GrowChildrenParallel(const GrowContext& ctx, DfsCode* code,
         } else if (want_frontier) {
           // Frequent under a non-minimal code: not a pattern here, but its
           // TID list must survive for the incremental lookups.
-          slot.frontier.emplace(job.code, engine::TidsOf(*job.projected));
+          slot.frontier.emplace(job.code, engine::TidSetOf(*job.projected));
         }
       });
     }
@@ -95,7 +95,7 @@ void Grow(const GrowContext& ctx, DfsCode* code,
   PatternInfo info;
   info.code = *code;
   info.support = engine::SupportOf(projected);
-  info.tids = engine::TidsOf(projected);
+  info.tids = engine::TidSetOf(projected);
   out->Upsert(std::move(info));
 
   if (static_cast<int>(code->size()) >= ctx.options->max_edges) return;
@@ -114,14 +114,14 @@ void Grow(const GrowContext& ctx, DfsCode* code,
     code->Append(tuple);
     if (engine::SupportOf(child_projected) < ctx.options->min_support) {
       if (frontier != nullptr) {
-        frontier->emplace(*code, engine::TidsOf(child_projected));
+        frontier->emplace(*code, engine::TidSetOf(child_projected));
       }
     } else if (IsMinimalDfsCode(*code)) {
       Grow(ctx, code, child_projected, depth + 1, out, frontier);
     } else if (frontier != nullptr) {
       // Frequent under a non-minimal code: not a pattern here, but its TID
       // list must survive for the incremental lookups.
-      frontier->emplace(*code, engine::TidsOf(child_projected));
+      frontier->emplace(*code, engine::TidSetOf(child_projected));
     }
     code->PopBack();
   }
@@ -142,7 +142,7 @@ PatternSet GSpanMiner::Mine(const GraphDatabase& db,
       code.Append(tuple);
       if (engine::SupportOf(projected) < options.min_support) {
         if (frontier != nullptr) {
-          frontier->emplace(code, engine::TidsOf(projected));
+          frontier->emplace(code, engine::TidSetOf(projected));
         }
       } else {
         Grow(ctx, &code, projected, /*depth=*/0, &out, frontier);
@@ -164,7 +164,7 @@ PatternSet GSpanMiner::Mine(const GraphDatabase& db,
     code.Append(tuple);
     if (engine::SupportOf(projected) < options.min_support) {
       if (frontier != nullptr) {
-        frontier->emplace(code, engine::TidsOf(projected));
+        frontier->emplace(code, engine::TidSetOf(projected));
       }
     } else {
       jobs.push_back(Job{code, &projected});

@@ -8,18 +8,19 @@
 #include <vector>
 
 #include "graph/dfs_code.h"
+#include "graph/tid_set.h"
 
 namespace partminer {
 
 /// One discovered frequent subgraph: its canonical (minimum) DFS code, its
-/// support, and the TID list — indices of the database graphs containing it.
-/// TID lists are what make the incremental delta-recount of IncPartMiner
-/// possible and they confine merge-join support counting to candidate
-/// graphs.
+/// support, and the TID set — indices of the database graphs containing it,
+/// stored as a dense bitset (see tid_set.h). TID sets are what make the
+/// incremental delta-recount of IncPartMiner possible and they confine
+/// merge-join support counting to candidate graphs.
 struct PatternInfo {
   DfsCode code;
   int support = 0;
-  std::vector<int> tids;
+  TidSet tids;
   /// True when support/tids were counted exactly against the database the
   /// holding set describes. Patterns adopted from a pre-update result inside
   /// IncMergeJoin carry stale info and have this cleared; the verification
@@ -30,16 +31,15 @@ struct PatternInfo {
 /// The *frontier* of a mining pass: every rightmost-extension group that was
 /// enumerated but did not become a frequent pattern (infrequent, or frequent
 /// under a non-minimal code), keyed by the extension's full DFS code
-/// (minimal base code + appended tuple) and carrying its exact TID list.
+/// (minimal base code + appended tuple) and carrying its exact TID set.
 ///
 /// The frontier is what makes the incremental merge update-proportional:
-/// a candidate re-encountered after updates finds its old TID list here and
+/// a candidate re-encountered after updates finds its old TID set here and
 /// is re-counted by set arithmetic alone — "eliminating the generation of
 /// unchanged candidate graphs" (Section 1) without any isomorphism work.
 /// Hash-keyed for cheap capture during mining sweeps; the (rare) removal of
 /// a dropped pattern's extension subtree scans the map for prefix matches.
-using FrontierMap =
-    std::unordered_map<DfsCode, std::vector<int>, DfsCodeHash>;
+using FrontierMap = std::unordered_map<DfsCode, TidSet, DfsCodeHash>;
 
 /// A node's frontier cache with a validity flag: large-update rounds take
 /// the exact re-sweep and skip the capture cost, invalidating the cache;

@@ -36,7 +36,7 @@ TEST(FrequentSingleEdgesTest, CountsPerGraphOnce) {
   const PatternInfo& p = edges.patterns()[0];
   EXPECT_EQ(p.support, 2);  // Per-graph dedup: graph 0 counts once.
   EXPECT_EQ(p.code[0], (DfsEdge{0, 1, 0, 7, 1}));
-  EXPECT_EQ(p.tids, (std::vector<int>{0, 1}));
+  EXPECT_EQ(p.tids.ToVector(), (std::vector<int>{0, 1}));
 }
 
 TEST(GenerateExtensionsTest, ExtendsEdgeToAllTwoEdgePatterns) {

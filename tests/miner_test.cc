@@ -67,7 +67,7 @@ TEST(GSpanTest, TinyDatabaseSupports) {
   const PatternInfo* p = result.Find(edge01);
   ASSERT_NE(p, nullptr);
   EXPECT_EQ(p->support, 3);
-  EXPECT_EQ(p->tids, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(p->tids.ToVector(), (std::vector<int>{0, 1, 2}));
 
   // Path 0-1-2: in the triangle and the path graph.
   DfsCode path;

@@ -9,7 +9,7 @@ PatternInfo MakePattern(Label a, Label e, Label b, int support) {
   PatternInfo p;
   p.code.Append({0, 1, a, e, b});
   p.support = support;
-  for (int i = 0; i < support; ++i) p.tids.push_back(i);
+  for (int i = 0; i < support; ++i) p.tids.Add(i);
   return p;
 }
 

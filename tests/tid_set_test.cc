@@ -1,0 +1,141 @@
+// TidSet correctness: hand-checked basics plus a randomized property sweep
+// pitting the bitset arithmetic against the sorted-vector algorithms the
+// mining stack used before (set_intersection / set_union / set_difference /
+// includes). The bitset is the representation of record for every TID list,
+// so any divergence here would silently corrupt support counts everywhere.
+
+#include "graph/tid_set.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace partminer {
+namespace {
+
+TEST(TidSetTest, BasicAddRemoveContains) {
+  TidSet set;
+  EXPECT_TRUE(set.Empty());
+  EXPECT_EQ(set.Count(), 0);
+  EXPECT_FALSE(set.Contains(0));
+
+  set.Add(3);
+  set.Add(64);
+  set.Add(3);  // Idempotent.
+  EXPECT_FALSE(set.Empty());
+  EXPECT_EQ(set.Count(), 2);
+  EXPECT_TRUE(set.Contains(3));
+  EXPECT_TRUE(set.Contains(64));
+  EXPECT_FALSE(set.Contains(63));
+  EXPECT_FALSE(set.Contains(-1));
+
+  set.Remove(64);
+  EXPECT_EQ(set.Count(), 1);
+  EXPECT_FALSE(set.Contains(64));
+  set.Remove(64);  // Removing an absent element is a no-op.
+  EXPECT_EQ(set.Count(), 1);
+
+  set.Remove(3);
+  EXPECT_TRUE(set.Empty());
+}
+
+TEST(TidSetTest, VectorRoundTrip) {
+  const std::vector<int> tids = {0, 5, 63, 64, 65, 200};
+  EXPECT_EQ(TidSet::FromVector(tids).ToVector(), tids);
+
+  // Unsorted input with duplicates normalizes to the ascending unique list.
+  const TidSet messy = TidSet::FromVector({200, 5, 5, 0, 65, 64, 63, 200});
+  EXPECT_EQ(messy.ToVector(), tids);
+  EXPECT_EQ(TidSet::FromVector({}).ToVector(), std::vector<int>{});
+}
+
+TEST(TidSetTest, EqualityIgnoresCapacityHistory) {
+  // Shrink {1000} down to {1}: the high words must not linger and break ==.
+  TidSet wide = TidSet::FromVector({1, 1000});
+  wide.Remove(1000);
+  const TidSet narrow = TidSet::FromVector({1});
+  EXPECT_EQ(wide, narrow);
+
+  TidSet differenced = TidSet::FromVector({1, 777});
+  differenced -= TidSet::FromVector({777});
+  EXPECT_EQ(differenced, narrow);
+
+  TidSet intersected = TidSet::FromVector({1, 900});
+  intersected &= TidSet::FromVector({1, 2, 3});
+  EXPECT_EQ(intersected, narrow);
+  EXPECT_NE(intersected, TidSet::FromVector({2}));
+}
+
+TEST(TidSetTest, ForEachAscending) {
+  const std::vector<int> tids = {2, 63, 64, 127, 128, 500};
+  std::vector<int> seen;
+  TidSet::FromVector(tids).ForEach([&](int t) { seen.push_back(t); });
+  EXPECT_EQ(seen, tids);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: TidSet ops vs the sorted-vector baselines on random sets.
+// ---------------------------------------------------------------------------
+
+std::vector<int> RandomTids(Rng* rng, int universe, int max_size) {
+  std::set<int> picked;
+  const int size = static_cast<int>(rng->Uniform(max_size + 1));
+  for (int i = 0; i < size; ++i) {
+    picked.insert(static_cast<int>(rng->Uniform(universe)));
+  }
+  return std::vector<int>(picked.begin(), picked.end());
+}
+
+TEST(TidSetTest, PropertyMatchesVectorBaseline) {
+  Rng rng(42);
+  for (int round = 0; round < 500; ++round) {
+    // Mixed universes exercise word-count mismatches between operands.
+    const int universe_a = round % 3 == 0 ? 70 : 1500;
+    const int universe_b = round % 2 == 0 ? 70 : 1500;
+    const std::vector<int> a = RandomTids(&rng, universe_a, 80);
+    const std::vector<int> b = RandomTids(&rng, universe_b, 80);
+    const TidSet sa = TidSet::FromVector(a);
+    const TidSet sb = TidSet::FromVector(b);
+
+    std::vector<int> expected;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(expected));
+    TidSet got = sa;
+    got &= sb;
+    EXPECT_EQ(got.ToVector(), expected) << "intersection, round " << round;
+    EXPECT_EQ(got.Count(), static_cast<int>(expected.size()));
+
+    expected.clear();
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                   std::back_inserter(expected));
+    got = sa;
+    got |= sb;
+    EXPECT_EQ(got.ToVector(), expected) << "union, round " << round;
+
+    expected.clear();
+    std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(expected));
+    got = sa;
+    got -= sb;
+    EXPECT_EQ(got.ToVector(), expected) << "difference, round " << round;
+
+    EXPECT_EQ(sa.Includes(sb),
+              std::includes(a.begin(), a.end(), b.begin(), b.end()))
+        << "includes, round " << round;
+    EXPECT_TRUE(sa.Includes(got));  // a \ b is always a subset of a.
+    EXPECT_EQ(sa == sb, a == b) << "equality, round " << round;
+
+    for (const int probe : {0, 1, 63, 64, 69, 700, 1499}) {
+      EXPECT_EQ(sa.Contains(probe),
+                std::binary_search(a.begin(), a.end(), probe))
+          << "contains " << probe << ", round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace partminer

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json records and flag regressions.
+
+Walks both files for objects whose leaves are benchmark-name -> milliseconds
+maps (the ``*_ms`` blocks every BENCH record in this repo uses: before_ms /
+after_ms, off_ms / on_ms, ...), pairs identical benchmark names across the
+two files, and reports the ratio. A benchmark that got more than THRESHOLD
+slower (default 10%) is a regression; any regression makes the exit status 1
+so the script can gate a CI step.
+
+Usage:
+    tools/bench_compare.py OLD.json NEW.json [--threshold=0.10] [--key=after_ms]
+
+With --key only the named *_ms blocks are compared (e.g. --key=after_ms to
+diff the post-change numbers of two records); the default compares every
+*_ms block present in both files under the same JSON path.
+"""
+
+import argparse
+import json
+import sys
+
+
+def collect_ms_blocks(node, path=""):
+    """Yields (json_path, {bench_name: ms}) for every dict whose key ends in
+    _ms and whose values are all numbers."""
+    if not isinstance(node, dict):
+        return
+    for key, value in node.items():
+        child_path = f"{path}.{key}" if path else key
+        if (
+            key.endswith("_ms")
+            and isinstance(value, dict)
+            and value
+            and all(isinstance(v, (int, float)) for v in value.values())
+        ):
+            yield child_path, value
+        else:
+            yield from collect_ms_blocks(value, child_path)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json files; exit 1 on regressions.")
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative slowdown that counts as a regression "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--key", default=None,
+                        help="only compare *_ms blocks with this name "
+                             "(e.g. after_ms)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.old) as f:
+            old_doc = json.load(f)
+        with open(args.new) as f:
+            new_doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    old_blocks = dict(collect_ms_blocks(old_doc))
+    new_blocks = dict(collect_ms_blocks(new_doc))
+    if args.key is not None:
+        old_blocks = {p: b for p, b in old_blocks.items()
+                      if p.split(".")[-1] == args.key}
+        new_blocks = {p: b for p, b in new_blocks.items()
+                      if p.split(".")[-1] == args.key}
+
+    compared = 0
+    regressions = []
+    print(f"{'benchmark':48} {'old ms':>10} {'new ms':>10} {'ratio':>7}")
+    for path in sorted(old_blocks):
+        if path not in new_blocks:
+            continue
+        old_ms, new_ms = old_blocks[path], new_blocks[path]
+        for name in sorted(old_ms):
+            if name not in new_ms:
+                continue
+            compared += 1
+            old_v, new_v = float(old_ms[name]), float(new_ms[name])
+            ratio = new_v / old_v if old_v > 0 else float("inf")
+            flag = ""
+            if ratio > 1.0 + args.threshold:
+                flag = "  REGRESSION"
+                regressions.append((path, name, old_v, new_v, ratio))
+            elif ratio < 1.0 - args.threshold:
+                flag = "  improved"
+            label = f"{path}:{name}"
+            print(f"{label:48} {old_v:10.3f} {new_v:10.3f} {ratio:6.2f}x{flag}")
+
+    if compared == 0:
+        print("error: no overlapping *_ms benchmark entries to compare",
+              file=sys.stderr)
+        return 2
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) over "
+              f"{args.threshold:.0%} among {compared} compared benchmarks:",
+              file=sys.stderr)
+        for path, name, old_v, new_v, ratio in regressions:
+            print(f"  {path}:{name}: {old_v:.3f}ms -> {new_v:.3f}ms "
+                  f"({ratio:.2f}x)", file=sys.stderr)
+        return 1
+    print(f"\nOK: no regressions over {args.threshold:.0%} among "
+          f"{compared} compared benchmarks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

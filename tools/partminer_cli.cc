@@ -33,7 +33,9 @@
 #include "common/timing.h"
 #include "core/part_miner.h"
 #include "datagen/generator.h"
+#include "graph/canonical.h"
 #include "graph/graph_io.h"
+#include "graph/label_index.h"
 #include "miner/closed.h"
 #include "miner/gaston.h"
 #include "miner/gspan.h"
@@ -113,7 +115,8 @@ int Usage() {
                "  partminer mine  --input=db.lg --support=0.05 [--k=4] "
                "[--algo=partminer|gspan|gaston|adi] [--criteria=combined|"
                "mincut|isolation|metis] [--threads=N] [--max-edges=N] "
-               "[--frames=N] [--closed|--maximal] [--output=out.lg] "
+               "[--frames=N] [--closed|--maximal] [--no-prune-index] "
+               "[--no-canon-cache] [--output=out.lg] "
                "[--trace=trace.json] [--metrics=metrics.json]\n"
                "  partminer gen   --output=db.lg [--d --t --n --l --i "
                "--seed]\n"
@@ -149,7 +152,8 @@ Status WritePatterns(const PatternSet& patterns, std::ostream& out) {
 int Mine(const std::map<std::string, std::string>& flags) {
   WarnUnknownFlags(flags, {"input", "support", "k", "algo", "criteria",
                            "threads", "max-edges", "frames", "closed",
-                           "maximal", "output", "trace", "metrics"});
+                           "maximal", "no-prune-index", "no-canon-cache",
+                           "output", "trace", "metrics"});
   GraphDatabase db;
   const std::string input = Get(flags, "input", "");
   if (input.empty()) {
@@ -174,6 +178,14 @@ int Mine(const std::map<std::string, std::string>& flags) {
           : std::max(1, static_cast<int>(std::ceil(support * db.size())));
   const int max_edges = std::atoi(Get(flags, "max-edges", "0").c_str());
   const std::string algo = Get(flags, "algo", "partminer");
+
+  // Support-counting fast-path escape hatches. Mined output is bit-identical
+  // either way; the flags exist for debugging and for measuring what the
+  // label index and the minimality cache buy. Setting them also publishes
+  // the prune.index_enabled / canon.cache_enabled gauges, so a --metrics
+  // dump records which configuration produced it.
+  SetLabelIndexEnabled(flags.count("no-prune-index") == 0);
+  SetMinimalityCacheEnabled(flags.count("no-canon-cache") == 0);
 
   const std::string trace_path = Get(flags, "trace", "");
   const std::string metrics_path = Get(flags, "metrics", "");
