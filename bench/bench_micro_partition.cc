@@ -89,14 +89,16 @@ void BM_BufferPoolFetch(benchmark::State& state) {
   constexpr int kPages = 256;
   for (int i = 0; i < kPages; ++i) {
     PageId id;
-    char* data = pool.Allocate(&id);
+    char* data = nullptr;
+    PM_CHECK(pool.Allocate(&id, &data).ok());
     data[0] = static_cast<char>(i);
     pool.Unpin(id, true);
   }
   Rng rng(1);
   for (auto _ : state) {
     const PageId id = static_cast<PageId>(rng.Uniform(kPages));
-    char* data = pool.Fetch(id);
+    char* data = nullptr;
+    PM_CHECK(pool.Fetch(id, &data).ok());
     benchmark::DoNotOptimize(data[0]);
     pool.Unpin(id, false);
   }

@@ -43,8 +43,8 @@ class PageStreamWriter {
  private:
   Status NextPage() {
     CloseCurrent();
-    current_ = pool_->Allocate(&page_id_);
-    if (current_ == nullptr) return Status::IoError("buffer pool exhausted");
+    PARTMINER_RETURN_IF_ERROR_CTX(pool_->Allocate(&page_id_, &current_),
+                                  "graph stream writer");
     offset_ = 0;
     ++pages_written_;
     return Status::Ok();
@@ -77,15 +77,17 @@ class PageStreamReader {
 
   Status Get(int32_t* value) {
     if (current_ == nullptr) {
-      current_ = pool_->Fetch(page_id_);
-      if (current_ == nullptr) return Status::IoError("buffer pool exhausted");
+      PARTMINER_RETURN_IF_ERROR_CTX(pool_->Fetch(page_id_, &current_),
+                                    "graph stream reader");
     }
     if (offset_ + 4 > kPageSize) {
       pool_->Unpin(page_id_, /*dirty=*/false);
       ++page_id_;
       offset_ = 0;
-      current_ = pool_->Fetch(page_id_);
-      if (current_ == nullptr) return Status::IoError("buffer pool exhausted");
+      // Fetch nulls current_ on failure, so the destructor cannot re-unpin
+      // the page we just released.
+      PARTMINER_RETURN_IF_ERROR_CTX(pool_->Fetch(page_id_, &current_),
+                                    "graph stream reader");
     }
     std::memcpy(value, current_ + offset_, 4);
     offset_ += 4;
@@ -110,8 +112,9 @@ Status AdiIndex::Build(const GraphDatabase& db) {
   for (int i = 0; i < db.size(); ++i) {
     const Graph& g = db.graph(i);
     DirectoryEntry entry;
-    PARTMINER_RETURN_IF_ERROR(
-        writer.Position(&entry.first_page, &entry.byte_offset));
+    PARTMINER_RETURN_IF_ERROR_CTX(
+        writer.Position(&entry.first_page, &entry.byte_offset),
+        "serializing graph " + std::to_string(i));
     directory_.push_back(entry);
 
     PARTMINER_RETURN_IF_ERROR(writer.Put(g.VertexCount()));
@@ -133,7 +136,8 @@ Status AdiIndex::Build(const GraphDatabase& db) {
     for (const auto& t : triples) edge_table_[t].push_back(i);
   }
   pages_used_ = writer.pages_written();
-  return pool_->FlushAll();
+  PARTMINER_RETURN_IF_ERROR_CTX(pool_->FlushAll(), "flushing index pages");
+  return Status::Ok();
 }
 
 Status AdiIndex::LoadGraph(int index, Graph* out) const {
@@ -141,24 +145,25 @@ Status AdiIndex::LoadGraph(int index, Graph* out) const {
   PM_CHECK_LT(index, graph_count());
   const DirectoryEntry& entry = directory_[index];
   PageStreamReader reader(pool_, entry.first_page, entry.byte_offset);
+  const std::string context = "loading graph " + std::to_string(index);
 
   int32_t vertex_count = 0;
-  PARTMINER_RETURN_IF_ERROR(reader.Get(&vertex_count));
+  PARTMINER_RETURN_IF_ERROR_CTX(reader.Get(&vertex_count), context);
   if (vertex_count < 0) return Status::Corruption("negative vertex count");
   *out = Graph();
   for (int32_t v = 0; v < vertex_count; ++v) {
     int32_t label = 0;
-    PARTMINER_RETURN_IF_ERROR(reader.Get(&label));
+    PARTMINER_RETURN_IF_ERROR_CTX(reader.Get(&label), context);
     out->AddVertex(label);
   }
   int32_t edge_count = 0;
-  PARTMINER_RETURN_IF_ERROR(reader.Get(&edge_count));
+  PARTMINER_RETURN_IF_ERROR_CTX(reader.Get(&edge_count), context);
   if (edge_count < 0) return Status::Corruption("negative edge count");
   for (int32_t e = 0; e < edge_count; ++e) {
     int32_t from = 0, to = 0, label = 0;
-    PARTMINER_RETURN_IF_ERROR(reader.Get(&from));
-    PARTMINER_RETURN_IF_ERROR(reader.Get(&to));
-    PARTMINER_RETURN_IF_ERROR(reader.Get(&label));
+    PARTMINER_RETURN_IF_ERROR_CTX(reader.Get(&from), context);
+    PARTMINER_RETURN_IF_ERROR_CTX(reader.Get(&to), context);
+    PARTMINER_RETURN_IF_ERROR_CTX(reader.Get(&label), context);
     if (from < 0 || to < 0 || from >= vertex_count || to >= vertex_count) {
       return Status::Corruption("edge endpoint out of range");
     }

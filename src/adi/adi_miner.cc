@@ -38,17 +38,24 @@ AdiMine::~AdiMine() = default;
 Status AdiMine::BuildIndex(const GraphDatabase& db) {
   PM_TRACE_SPAN("adi.build_index", {{"graphs", db.size()}});
   Stopwatch watch;
+  // A failed build leaves a partially written index; refuse to mine it
+  // until a later rebuild succeeds.
+  built_ = false;
   pool_->Clear();
-  PARTMINER_RETURN_IF_ERROR(disk_.Reset());
-  PARTMINER_RETURN_IF_ERROR(index_->Build(db));
+  PARTMINER_RETURN_IF_ERROR_CTX(disk_.Reset(), "resetting page file");
+  PARTMINER_RETURN_IF_ERROR_CTX(index_->Build(db), "building ADI index");
   built_ = true;
   PM_METRIC_HISTOGRAM("adi.phase.build_index_ms")
       ->Observe(watch.ElapsedSeconds() * 1e3);
   return Status::Ok();
 }
 
-PatternSet AdiMine::Mine(const MinerOptions& options) {
-  PM_CHECK(built_) << "Mine() before BuildIndex()";
+Status AdiMine::Mine(const MinerOptions& options, PatternSet* out) {
+  *out = PatternSet();
+  if (!built_) {
+    return Status::InvalidArgument(
+        "Mine() before a successful BuildIndex()");
+  }
   PM_TRACE_SPAN("adi.mine", {{"support", options.min_support}});
 
   // Scan phase: the edge table tells which graphs contain any frequent
@@ -64,7 +71,8 @@ PatternSet AdiMine::Mine(const MinerOptions& options) {
   for (int i = 0; i < index_->graph_count(); ++i) {
     if (next_relevant < relevant.size() && relevant[next_relevant] == i) {
       Graph g;
-      PM_CHECK(index_->LoadGraph(i, &g).ok()) << "index corruption at " << i;
+      PARTMINER_RETURN_IF_ERROR_CTX(index_->LoadGraph(i, &g),
+                                    "ADI index scan");
       decoded.Add(std::move(g), i);
       ++next_relevant;
     } else {
@@ -74,7 +82,15 @@ PatternSet AdiMine::Mine(const MinerOptions& options) {
   last_scan_seconds_ = scan_watch.ElapsedSeconds();
 
   GSpanMiner miner;
-  return miner.Mine(decoded, options);
+  *out = miner.Mine(decoded, options);
+  return Status::Ok();
+}
+
+PatternSet AdiMine::Mine(const MinerOptions& options) {
+  PatternSet out;
+  const Status status = Mine(options, &out);
+  PM_CHECK(status.ok()) << status.ToString();
+  return out;
 }
 
 }  // namespace partminer

@@ -54,8 +54,20 @@ class AdiMine {
 
   /// Mines the indexed database: scans the index (skipping graphs without
   /// any frequent edge, per the edge table), decodes the survivors through
-  /// the buffer pool, and runs the DFS-code search.
+  /// the buffer pool, and runs the DFS-code search. A failed page scan
+  /// (I/O error, injected fault, exhausted pool) propagates as a non-OK
+  /// Status with `*out` left empty — never a crash or a partial answer.
+  Status Mine(const MinerOptions& options, PatternSet* out);
+
+  /// Convenience overload for callers without a failure path (benchmarks,
+  /// experiment harnesses): checks the Status fatally.
   PatternSet Mine(const MinerOptions& options);
+
+  /// Attaches `injector` to the underlying disk manager (nullptr detaches);
+  /// see FaultInjector. The injector is not owned.
+  void set_fault_injector(FaultInjector* injector) {
+    disk_.set_fault_injector(injector);
+  }
 
   const AdiIndex& index() const { return *index_; }
   const IoStats& io_stats() const { return disk_.stats(); }

@@ -19,6 +19,7 @@ class Status {
     kCorruption,
     kNotFound,
     kOutOfRange,
+    kResourceExhausted,
   };
 
   Status() : code_(Code::kOk) {}
@@ -39,10 +40,21 @@ class Status {
   static Status OutOfRange(std::string msg) {
     return Status(Code::kOutOfRange, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// Same status with `context` prepended to the message — the error-path
+  /// convention for propagation across layers, so a deep I/O failure reads
+  /// like a call chain: "loading graph 12: evicting page 3: pwrite: ...".
+  Status WithContext(const std::string& context) const {
+    if (ok()) return *this;
+    return Status(code_, context + ": " + message_);
+  }
 
   /// Human-readable rendering, e.g. "IoError: cannot open foo".
   std::string ToString() const {
@@ -55,6 +67,7 @@ class Status {
       case Code::kCorruption: name = "Corruption"; break;
       case Code::kNotFound: name = "NotFound"; break;
       case Code::kOutOfRange: name = "OutOfRange"; break;
+      case Code::kResourceExhausted: name = "ResourceExhausted"; break;
     }
     return std::string(name) + ": " + message_;
   }
@@ -71,6 +84,13 @@ class Status {
   do {                                                   \
     ::partminer::Status _status = (expr);                \
     if (!_status.ok()) return _status;                   \
+  } while (0)
+
+/// Propagates a non-OK Status with `context` prepended to its message.
+#define PARTMINER_RETURN_IF_ERROR_CTX(expr, context)          \
+  do {                                                        \
+    ::partminer::Status _status = (expr);                     \
+    if (!_status.ok()) return _status.WithContext(context);   \
   } while (0)
 
 }  // namespace partminer

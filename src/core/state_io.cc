@@ -1,5 +1,7 @@
 #include "core/state_io.h"
 
+#include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -12,7 +14,22 @@ namespace partminer {
 namespace {
 
 constexpr const char* kMagic = "partminer-state";
-constexpr int kVersion = 1;
+// Version 2 appends an integrity footer (`footer <payload_bytes>
+// <fnv1a_hex>`) so truncation and bit flips are detected before any of the
+// payload is trusted. Version 1 files (no footer) are rejected.
+constexpr int kVersion = 2;
+constexpr const char* kFooterTag = "footer";
+
+/// FNV-1a 64-bit over the serialized payload. Not cryptographic — it only
+/// needs to catch torn writes and random corruption.
+uint64_t Fnv1a(const std::string& data) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
 
 void WriteCode(const DfsCode& code, std::ostream& out) {
   out << code.size();
@@ -119,9 +136,8 @@ Status ReadFrontier(std::istream& in, NodeFrontier* frontier) {
   return Status::Ok();
 }
 
-}  // namespace
-
-Status SaveMinerState(const PartMiner& miner, std::ostream& out) {
+/// Serializes everything except the integrity footer.
+Status SaveMinerStatePayload(const PartMiner& miner, std::ostream& out) {
   if (!miner.mined()) {
     return Status::InvalidArgument("miner has not completed Mine()");
   }
@@ -149,13 +165,75 @@ Status SaveMinerState(const PartMiner& miner, std::ostream& out) {
   return Status::Ok();
 }
 
+/// Parses and validates the footer of `contents`, returning the payload
+/// (everything before the footer line) in `*payload`.
+Status CheckFooter(const std::string& contents, std::string* payload) {
+  // The footer is the final non-empty line; find it without trusting
+  // anything else about the (possibly corrupted) contents.
+  size_t end = contents.size();
+  while (end > 0 && contents[end - 1] == '\n') --end;
+  const size_t line_start = contents.rfind('\n', end == 0 ? 0 : end - 1);
+  const std::string last_line = contents.substr(
+      line_start == std::string::npos ? 0 : line_start + 1,
+      end - (line_start == std::string::npos ? 0 : line_start + 1));
+
+  std::istringstream footer(last_line);
+  std::string tag, hex;
+  uint64_t payload_bytes = 0;
+  if (!(footer >> tag >> payload_bytes >> hex) || tag != kFooterTag) {
+    return Status::Corruption(
+        "missing integrity footer (file truncated or not a v" +
+        std::to_string(kVersion) + " state file)");
+  }
+  char* hex_end = nullptr;
+  const uint64_t expected_hash = std::strtoull(hex.c_str(), &hex_end, 16);
+  if (hex_end == hex.c_str() || *hex_end != '\0') {
+    return Status::Corruption("unparseable footer checksum '" + hex + "'");
+  }
+
+  *payload = contents.substr(0, line_start == std::string::npos
+                                    ? 0
+                                    : line_start + 1);
+  if (payload->size() != payload_bytes) {
+    return Status::Corruption(
+        "payload is " + std::to_string(payload->size()) +
+        " bytes but the footer records " + std::to_string(payload_bytes) +
+        " (file truncated?)");
+  }
+  const uint64_t actual_hash = Fnv1a(*payload);
+  if (actual_hash != expected_hash) {
+    std::ostringstream msg;
+    msg << "checksum mismatch: payload hashes to " << std::hex
+        << actual_hash << " but the footer records " << expected_hash
+        << " (file corrupted)";
+    return Status::Corruption(msg.str());
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SaveMinerState(const PartMiner& miner, std::ostream& out) {
+  std::ostringstream payload;
+  PARTMINER_RETURN_IF_ERROR(SaveMinerStatePayload(miner, payload));
+  const std::string data = payload.str();
+  std::ostringstream hex;
+  hex << std::hex << Fnv1a(data);
+  out << data << kFooterTag << ' ' << data.size() << ' ' << hex.str()
+      << '\n';
+  if (!out) return Status::IoError("write failed");
+  return Status::Ok();
+}
+
 Status SaveMinerStateFile(const PartMiner& miner, const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
   return SaveMinerState(miner, out);
 }
 
-Status LoadMinerState(std::istream& in, PartMiner* miner) {
+namespace {
+
+Status LoadMinerStatePayload(std::istream& in, PartMiner* miner) {
   std::string magic, tag;
   int version = 0;
   if (!(in >> magic >> version) || magic != kMagic) {
@@ -227,6 +305,23 @@ Status LoadMinerState(std::istream& in, PartMiner* miner) {
   miner->set_verified(std::move(verified));
   miner->RestoreMinedState(root_support);
   return Status::Ok();
+}
+
+}  // namespace
+
+Status LoadMinerState(std::istream& in, PartMiner* miner) {
+  // Slurp the whole stream first: nothing in the file is trusted until the
+  // footer's length and checksum have validated the payload.
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed");
+  const std::string contents = buffer.str();
+  if (contents.empty()) return Status::Corruption("empty state file");
+
+  std::string payload;
+  PARTMINER_RETURN_IF_ERROR(CheckFooter(contents, &payload));
+  std::istringstream payload_in(payload);
+  return LoadMinerStatePayload(payload_in, miner);
 }
 
 Status LoadMinerStateFile(const std::string& path, PartMiner* miner) {

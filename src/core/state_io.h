@@ -14,7 +14,11 @@ namespace partminer {
 /// restarts without re-mining from scratch. SaveMinerState captures
 /// everything IncPartMiner needs — the partition assignments and merge
 /// tree, every node's exact pattern cache, the frontier caches, and the
-/// verified result — in a versioned line-oriented text format.
+/// verified result — in a versioned line-oriented text format. The file
+/// ends with an integrity footer (`footer <payload_bytes> <fnv1a_hex>`);
+/// Load validates the footer before trusting any of the payload, so a
+/// truncated or bit-flipped file fails with a descriptive Corruption
+/// status instead of silently restoring bad state.
 ///
 /// The database itself is not stored (persist it separately with
 /// WriteGraphDatabaseFile); on load the assignments must match the database

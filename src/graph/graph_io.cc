@@ -35,11 +35,20 @@ Status ReadGraphDatabase(std::istream& in, GraphDatabase* db) {
     std::istringstream tokens(line);
     std::string tag;
     if (!(tokens >> tag)) continue;  // Blank line.
+    std::string extra;
     if (tag == "t") {
       std::string hash;
       long gid = -1;
       if (!(tokens >> hash >> gid) || hash != "#") {
         return ParseError(line_number, line, "expected 't # <gid>'");
+      }
+      if (gid < 0) {
+        return ParseError(line_number, line,
+                          "negative graph id " + std::to_string(gid));
+      }
+      if (tokens >> extra) {
+        return ParseError(line_number, line,
+                          "trailing tokens after 't # <gid>'");
       }
       flush();
       have_graph = true;
@@ -49,11 +58,22 @@ Status ReadGraphDatabase(std::istream& in, GraphDatabase* db) {
       if (!(tokens >> id >> label)) {
         return ParseError(line_number, line, "expected 'v <id> <label>'");
       }
+      if (tokens >> extra) {
+        return ParseError(line_number, line,
+                          "trailing tokens after 'v <id> <label>'");
+      }
       if (!have_graph) {
         return ParseError(line_number, line, "vertex before 't' header");
       }
+      if (id < current.VertexCount()) {
+        return ParseError(line_number, line,
+                          "duplicate vertex id " + std::to_string(id));
+      }
       if (id != current.VertexCount()) {
-        return ParseError(line_number, line, "non-dense vertex id");
+        return ParseError(
+            line_number, line,
+            "non-dense vertex id " + std::to_string(id) + " (expected " +
+                std::to_string(current.VertexCount()) + ")");
       }
       current.AddVertex(static_cast<Label>(label));
     } else if (tag == "e") {
@@ -62,19 +82,39 @@ Status ReadGraphDatabase(std::istream& in, GraphDatabase* db) {
         return ParseError(line_number, line,
                           "expected 'e <from> <to> <label>'");
       }
+      if (tokens >> extra) {
+        return ParseError(line_number, line,
+                          "trailing tokens after 'e <from> <to> <label>'");
+      }
       if (!have_graph) {
         return ParseError(line_number, line, "edge before 't' header");
       }
+      if (from == to) {
+        return ParseError(line_number, line,
+                          "self-loop edge at vertex " + std::to_string(from));
+      }
       if (from < 0 || to < 0 || from >= current.VertexCount() ||
-          to >= current.VertexCount() || from == to) {
-        return ParseError(line_number, line, "edge endpoint out of range");
+          to >= current.VertexCount()) {
+        const long dangling =
+            (from < 0 || from >= current.VertexCount()) ? from : to;
+        return ParseError(
+            line_number, line,
+            "dangling edge endpoint " + std::to_string(dangling) +
+                " (graph has " + std::to_string(current.VertexCount()) +
+                " vertices)");
+      }
+      if (current.HasEdge(static_cast<VertexId>(from),
+                          static_cast<VertexId>(to))) {
+        return ParseError(line_number, line,
+                          "duplicate edge " + std::to_string(from) + "-" +
+                              std::to_string(to));
       }
       current.AddEdge(static_cast<VertexId>(from), static_cast<VertexId>(to),
                       static_cast<Label>(label));
     } else if (tag[0] == '#') {
       continue;  // Comment.
     } else {
-      return ParseError(line_number, line, "unknown record tag");
+      return ParseError(line_number, line, "unknown record tag '" + tag + "'");
     }
   }
   flush();

@@ -25,32 +25,40 @@ BufferPool::BufferPool(DiskManager* disk, int frames, int shards)
   }
 }
 
-int BufferPool::GetVictim(Shard* shard) {
+Status BufferPool::GetVictim(Shard* shard, int* frame) {
+  *frame = -1;
   if (!shard->free.empty()) {
-    const int frame = shard->free.back();
+    *frame = shard->free.back();
     shard->free.pop_back();
-    shard->frames[frame].data.resize(kPageSize);
-    return frame;
+    shard->frames[*frame].data.resize(kPageSize);
+    return Status::Ok();
   }
   for (auto it = shard->lru.begin(); it != shard->lru.end(); ++it) {
     Frame& f = shard->frames[*it];
     if (f.pin_count == 0) {
-      const int frame = *it;
-      shard->lru.erase(it);
       if (f.dirty) {
-        PM_CHECK(disk_->WritePage(f.page_id, f.data.data()).ok());
+        // Write back before detaching anything: on failure the page stays
+        // cached, dirty, and evictable, so no data is lost.
+        PARTMINER_RETURN_IF_ERROR_CTX(
+            disk_->WritePage(f.page_id, f.data.data()),
+            "evicting page " + std::to_string(f.page_id));
         f.dirty = false;
       }
+      *frame = *it;
+      shard->lru.erase(it);
       shard->table.erase(f.page_id);
       ++disk_->mutable_stats()->evictions;
       PM_METRIC_COUNTER("storage.pool_evictions")->Increment();
-      return frame;
+      return Status::Ok();
     }
   }
-  return -1;
+  return Status::ResourceExhausted("buffer pool shard exhausted: all " +
+                                   std::to_string(shard->frames.size()) +
+                                   " frames pinned");
 }
 
-char* BufferPool::Fetch(PageId id) {
+Status BufferPool::Fetch(PageId id, char** frame) {
+  *frame = nullptr;
   Shard& shard = ShardOf(id);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.table.find(id);
@@ -60,34 +68,47 @@ char* BufferPool::Fetch(PageId id) {
     ++f.pin_count;
     ++disk_->mutable_stats()->pool_hits;
     PM_METRIC_COUNTER("storage.pool_hits")->Increment();
-    return f.data.data();
+    *frame = f.data.data();
+    return Status::Ok();
   }
   ++disk_->mutable_stats()->pool_misses;
   PM_METRIC_COUNTER("storage.pool_misses")->Increment();
-  const int frame = GetVictim(&shard);
-  if (frame < 0) return nullptr;
-  Frame& f = shard.frames[frame];
+  int victim = -1;
+  PARTMINER_RETURN_IF_ERROR_CTX(GetVictim(&shard, &victim),
+                                "fetching page " + std::to_string(id));
+  Frame& f = shard.frames[victim];
+  // Read into the detached frame before installing it, so a failed read
+  // returns the frame to the free list instead of caching garbage.
+  const Status read = disk_->ReadPage(id, f.data.data());
+  if (!read.ok()) {
+    shard.free.push_back(victim);
+    return read.WithContext("fetching page " + std::to_string(id));
+  }
   f.page_id = id;
   f.pin_count = 1;
   f.dirty = false;
-  PM_CHECK(disk_->ReadPage(id, f.data.data()).ok());
-  shard.table[id] = frame;
-  return f.data.data();
+  shard.table[id] = victim;
+  *frame = f.data.data();
+  return Status::Ok();
 }
 
-char* BufferPool::Allocate(PageId* id) {
-  *id = disk_->Allocate();
+Status BufferPool::Allocate(PageId* id, char** frame) {
+  *frame = nullptr;
+  PARTMINER_RETURN_IF_ERROR_CTX(disk_->Allocate(id), "allocating page");
   Shard& shard = ShardOf(*id);
   std::lock_guard<std::mutex> lock(shard.mu);
-  const int frame = GetVictim(&shard);
-  if (frame < 0) return nullptr;
-  Frame& f = shard.frames[frame];
+  int victim = -1;
+  PARTMINER_RETURN_IF_ERROR_CTX(
+      GetVictim(&shard, &victim),
+      "allocating page " + std::to_string(*id));
+  Frame& f = shard.frames[victim];
   f.page_id = *id;
   f.pin_count = 1;
   f.dirty = true;  // New pages must reach disk even if never re-written.
   std::memset(f.data.data(), 0, kPageSize);
-  shard.table[*id] = frame;
-  return f.data.data();
+  shard.table[*id] = victim;
+  *frame = f.data.data();
+  return Status::Ok();
 }
 
 void BufferPool::Unpin(PageId id, bool dirty) {
@@ -107,7 +128,9 @@ Status BufferPool::FlushAll() {
     for (auto& [page_id, frame] : shard->table) {
       Frame& f = shard->frames[frame];
       if (f.dirty) {
-        PARTMINER_RETURN_IF_ERROR(disk_->WritePage(page_id, f.data.data()));
+        PARTMINER_RETURN_IF_ERROR_CTX(
+            disk_->WritePage(page_id, f.data.data()),
+            "flushing page " + std::to_string(page_id));
         f.dirty = false;
       }
     }

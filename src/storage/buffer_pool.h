@@ -34,12 +34,17 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Pins page `id` and returns its frame data (kPageSize bytes), or nullptr
-  /// when every frame of the page's shard is pinned. Call Unpin when done.
-  char* Fetch(PageId id);
+  /// Pins page `id` and sets `*frame` to its data (kPageSize bytes). Call
+  /// Unpin when done. Fails with ResourceExhausted when every frame of the
+  /// page's shard is pinned, and propagates disk errors from the eviction
+  /// write-back and the page read; `*frame` is nullptr on failure and the
+  /// pool state is unchanged (no pin leaks, no cached garbage).
+  Status Fetch(PageId id, char** frame);
 
-  /// Allocates a new page, pinned and zeroed. Sets `*id`.
-  char* Allocate(PageId* id);
+  /// Allocates a new page, pinned and zeroed. Sets `*id` and `*frame`.
+  /// Same failure contract as Fetch; additionally propagates allocation
+  /// faults from the disk manager.
+  Status Allocate(PageId* id, char** frame);
 
   /// Releases one pin; `dirty` marks the page for write-back.
   void Unpin(PageId id, bool dirty);
@@ -75,9 +80,13 @@ class BufferPool {
     return *shards_[static_cast<size_t>(id) % shards_.size()];
   }
 
-  /// Returns a free frame index in `shard`, evicting its LRU unpinned page
-  /// if needed; -1 when everything is pinned. Caller holds shard.mu.
-  int GetVictim(Shard* shard);
+  /// Finds a free frame index in `shard` (set in `*frame`), evicting its
+  /// LRU unpinned page if needed. ResourceExhausted when everything is
+  /// pinned; a failed dirty write-back propagates and leaves the victim
+  /// cached and dirty (nothing is lost — a later flush retries). The
+  /// returned frame is detached from every shard structure; the caller must
+  /// install or release it. Caller holds shard.mu.
+  Status GetVictim(Shard* shard, int* frame);
 
   DiskManager* disk_;
   int total_frames_ = 0;

@@ -36,15 +36,29 @@ void DiskManager::Close() {
   }
 }
 
-PageId DiskManager::Allocate() {
+Status DiskManager::CheckFault(FaultInjector::Op op, PageId id) {
+  if (fault_injector_ == nullptr || !fault_injector_->ShouldFail(op)) {
+    return Status::Ok();
+  }
+  ++stats_.injected_faults;
+  PM_METRIC_COUNTER("storage.injected_faults")->Increment();
+  return FaultInjector::InjectedFault(op, "page " + std::to_string(id));
+}
+
+Status DiskManager::Allocate(PageId* id) {
   PM_CHECK(is_open());
-  return page_count_.fetch_add(1, std::memory_order_acq_rel);
+  *id = kInvalidPageId;
+  PARTMINER_RETURN_IF_ERROR(
+      CheckFault(FaultInjector::Op::kAlloc, page_count()));
+  *id = page_count_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::Ok();
 }
 
 Status DiskManager::ReadPage(PageId id, char* out) {
   PM_CHECK(is_open());
   PM_CHECK_GE(id, 0);
   PM_CHECK_LT(id, page_count());
+  PARTMINER_RETURN_IF_ERROR(CheckFault(FaultInjector::Op::kRead, id));
   const ssize_t n =
       ::pread(fd_, out, kPageSize, static_cast<off_t>(id) * kPageSize);
   if (n < 0) {
@@ -62,6 +76,7 @@ Status DiskManager::WritePage(PageId id, const char* data) {
   PM_CHECK(is_open());
   PM_CHECK_GE(id, 0);
   PM_CHECK_LT(id, page_count());
+  PARTMINER_RETURN_IF_ERROR(CheckFault(FaultInjector::Op::kWrite, id));
   const ssize_t n =
       ::pwrite(fd_, data, kPageSize, static_cast<off_t>(id) * kPageSize);
   if (n != kPageSize) {

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "storage/fault_injector.h"
 #include "storage/io_stats.h"
 
 namespace partminer {
@@ -38,8 +39,10 @@ class DiskManager {
     return page_count_.load(std::memory_order_acquire);
   }
 
-  /// Allocates a fresh zero page; returns its id.
-  PageId Allocate();
+  /// Allocates a fresh zero page; sets `*id`. Fails only under fault
+  /// injection (page allocation models file growth, which can fail on a
+  /// real device); `*id` is kInvalidPageId on failure.
+  Status Allocate(PageId* id);
 
   /// Reads page `id` into `out` (kPageSize bytes).
   Status ReadPage(PageId id, char* out);
@@ -62,8 +65,20 @@ class DiskManager {
   void set_simulated_latency_us(int us) { simulated_latency_us_ = us; }
   int simulated_latency_us() const { return simulated_latency_us_; }
 
+  /// Attaches a fault injector consulted before every read/write/alloc
+  /// (nullptr detaches). Not owned; must outlive the manager or be detached
+  /// first. Injected faults surface as Status::IoError tagged "injected"
+  /// and are counted in stats().injected_faults.
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+  FaultInjector* fault_injector() const { return fault_injector_; }
+
  private:
   void SimulateLatency() const;
+
+  /// Returns the injected fault for `op`, or OK. Bumps the stat counter.
+  Status CheckFault(FaultInjector::Op op, PageId id);
 
   int fd_ = -1;
   std::string path_;
@@ -72,6 +87,7 @@ class DiskManager {
   /// thread-safe on a shared descriptor.
   std::atomic<int> page_count_{0};
   int simulated_latency_us_ = 0;
+  FaultInjector* fault_injector_ = nullptr;
   IoStats stats_;
 };
 

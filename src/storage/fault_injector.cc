@@ -1,0 +1,80 @@
+#include "storage/fault_injector.h"
+
+#include "common/logging.h"
+
+namespace partminer {
+
+void FaultInjector::SetProbability(Op op, double p) {
+  PM_CHECK_GE(p, 0.0);
+  PM_CHECK_LE(p, 1.0);
+  std::lock_guard<std::mutex> lock(mu_);
+  per_op_[static_cast<int>(op)].probability = p;
+}
+
+void FaultInjector::FailN(Op op, int after_n, int count) {
+  PM_CHECK_GE(after_n, 0);
+  PM_CHECK_GT(count, 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  PerOp& state = per_op_[static_cast<int>(op)];
+  state.fail_from = state.seen + after_n;
+  state.fail_count = count;
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (PerOp& state : per_op_) {
+    state.probability = 0;
+    state.fail_from = -1;
+    state.fail_count = 0;
+  }
+}
+
+bool FaultInjector::ShouldFail(Op op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PerOp& state = per_op_[static_cast<int>(op)];
+  const int64_t index = state.seen++;
+  bool fail = false;
+  if (state.fail_from >= 0 && index >= state.fail_from &&
+      index < state.fail_from + state.fail_count) {
+    fail = true;
+  }
+  // The probabilistic draw happens even when a scripted fault already fired,
+  // so arming a script does not shift the probabilistic fault points of the
+  // remaining operations.
+  if (state.probability > 0 && rng_.Bernoulli(state.probability)) fail = true;
+  if (fail) ++state.injected;
+  return fail;
+}
+
+int64_t FaultInjector::operations(Op op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return per_op_[static_cast<int>(op)].seen;
+}
+
+int64_t FaultInjector::injected(Op op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return per_op_[static_cast<int>(op)].injected;
+}
+
+int64_t FaultInjector::total_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const PerOp& state : per_op_) total += state.injected;
+  return total;
+}
+
+const char* FaultInjector::OpName(Op op) {
+  switch (op) {
+    case Op::kRead: return "read";
+    case Op::kWrite: return "write";
+    case Op::kAlloc: return "alloc";
+  }
+  return "unknown";
+}
+
+Status FaultInjector::InjectedFault(Op op, const std::string& detail) {
+  return Status::IoError("injected " + std::string(OpName(op)) + " fault: " +
+                         detail);
+}
+
+}  // namespace partminer

@@ -19,6 +19,7 @@ struct IoStats {
   std::atomic<int64_t> pool_hits{0};     // Fetches served from the pool.
   std::atomic<int64_t> pool_misses{0};   // Fetches that hit the disk manager.
   std::atomic<int64_t> evictions{0};     // Frames reclaimed by the LRU policy.
+  std::atomic<int64_t> injected_faults{0};  // Faults delivered by injection.
 
   void Reset() {
     page_reads.store(0, std::memory_order_relaxed);
@@ -26,6 +27,7 @@ struct IoStats {
     pool_hits.store(0, std::memory_order_relaxed);
     pool_misses.store(0, std::memory_order_relaxed);
     evictions.store(0, std::memory_order_relaxed);
+    injected_faults.store(0, std::memory_order_relaxed);
   }
 
   double HitRate() const {

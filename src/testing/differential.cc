@@ -1,0 +1,368 @@
+#include "testing/differential.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "adi/adi_miner.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/inc_part_miner.h"
+#include "core/part_miner.h"
+#include "datagen/update_generator.h"
+#include "graph/canonical.h"
+#include "graph/graph_io.h"
+#include "graph/label_index.h"
+#include "miner/brute_force.h"
+#include "miner/gaston.h"
+#include "miner/gspan.h"
+
+namespace partminer {
+namespace testing {
+
+namespace {
+
+/// Restores the global fast-path toggles on scope exit.
+class FastPathGuard {
+ public:
+  FastPathGuard()
+      : index_(LabelIndexEnabled()), cache_(MinimalityCacheEnabled()) {}
+  ~FastPathGuard() {
+    SetLabelIndexEnabled(index_);
+    SetMinimalityCacheEnabled(cache_);
+    ClearMinimalityCache();
+  }
+
+ private:
+  const bool index_;
+  const bool cache_;
+};
+
+/// Diffs `actual` against the oracle result: same canonical codes, same
+/// supports, and — when both sides counted exactly — the same TID sets.
+/// Returns "" on agreement, else a description capped at a few examples.
+std::string DiffAgainstOracle(const PatternSet& oracle,
+                              const PatternSet& actual,
+                              const std::string& name) {
+  std::ostringstream out;
+  int issues = 0;
+  auto note = [&](const std::string& what) {
+    if (issues < 5) out << "  " << what << "\n";
+    ++issues;
+  };
+
+  for (const PatternInfo& p : oracle.patterns()) {
+    const PatternInfo* q = actual.Find(p.code);
+    if (q == nullptr) {
+      note("missing pattern " + p.code.ToString() + " (support " +
+           std::to_string(p.support) + ")");
+      continue;
+    }
+    if (q->support != p.support) {
+      note("support mismatch for " + p.code.ToString() + ": oracle " +
+           std::to_string(p.support) + ", " + name + " " +
+           std::to_string(q->support));
+    }
+    if (p.exact_tids && q->exact_tids && !(p.tids == q->tids)) {
+      note("tid-set mismatch for " + p.code.ToString());
+    }
+  }
+  for (const PatternInfo& q : actual.patterns()) {
+    if (oracle.Find(q.code) == nullptr) {
+      note("extra pattern " + q.code.ToString() + " (support " +
+           std::to_string(q.support) + ")");
+    }
+  }
+  if (issues == 0) return "";
+  std::ostringstream head;
+  head << name << " disagrees with the brute-force oracle (" << issues
+       << " differences; oracle " << oracle.size() << " patterns, " << name
+       << " " << actual.size() << "):\n"
+       << out.str();
+  return head.str();
+}
+
+/// Seeded update round shared by RunAllChecks and corpus replay: the update
+/// stream is a pure function of the case seed, so minimized repros keep
+/// exercising the same incremental path.
+UpdateOptions MakeUpdateOptions(const FuzzCaseParams& params) {
+  UpdateOptions upd;
+  Rng rng(params.seed * 0x9e3779b97f4a7c15ull + 3);
+  upd.fraction_graphs = 0.2 + 0.15 * static_cast<double>(rng.Uniform(4));
+  upd.updates_per_graph = 1 + static_cast<int>(rng.Uniform(3));
+  upd.seed = params.seed + 101;
+  return upd;
+}
+
+}  // namespace
+
+FuzzCaseParams MakeFuzzCase(uint64_t seed, bool smoke) {
+  FuzzCaseParams params;
+  params.seed = seed;
+  Rng rng(seed * 0x9e3779b97f4a7c15ull + 1);
+
+  GeneratorParams& gen = params.gen;
+  gen.num_graphs = smoke ? 6 + static_cast<int>(rng.Uniform(9))
+                         : 8 + static_cast<int>(rng.Uniform(17));
+  gen.num_labels = 2 + static_cast<int>(rng.Uniform(4));
+  gen.avg_edges = 4 + static_cast<int>(rng.Uniform(smoke ? 5 : 9));
+  gen.avg_kernel_edges = 2 + static_cast<int>(rng.Uniform(3));
+  gen.num_kernels = 2 + static_cast<int>(rng.Uniform(5));
+  gen.seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+
+  // Support low enough that patterns survive, high enough that not every
+  // subgraph is frequent; max_edges bounds the brute-force oracle.
+  const int hi = std::max(2, gen.num_graphs / 3);
+  params.min_support = 2 + static_cast<int>(rng.Uniform(hi - 1));
+  params.max_edges = 3 + static_cast<int>(rng.Uniform(2));
+  params.k = 2 + static_cast<int>(rng.Uniform(3));
+  return params;
+}
+
+DifferentialResult RunAllChecks(const GraphDatabase& db,
+                                const FuzzCaseParams& params) {
+  DifferentialResult result;
+  FastPathGuard guard;
+  SetLabelIndexEnabled(true);
+  SetMinimalityCacheEnabled(true);
+
+  MinerOptions options;
+  options.min_support = params.min_support;
+  options.max_edges = params.max_edges;
+
+  BruteForceMiner oracle_miner;
+  const PatternSet oracle = oracle_miner.Mine(db, options);
+  ++result.configurations;
+
+  auto check = [&](const PatternSet& actual, const std::string& name) {
+    ++result.configurations;
+    if (!result.ok()) return;
+    result.divergence = DiffAgainstOracle(oracle, actual, name);
+  };
+
+  {
+    GSpanMiner gspan;
+    check(gspan.Mine(db, options), "gspan");
+    GastonMiner gaston;
+    check(gaston.Mine(db, options), "gaston");
+  }
+
+  // Parallel gSpan: the work-stealing traversal must be bit-identical to
+  // the serial one. The spawn threshold is lowered so the tiny fuzz
+  // databases actually fan out.
+  for (const int threads : {2, 8}) {
+    if (!result.ok()) break;
+    ThreadPool pool(threads);
+    MinerOptions parallel = options;
+    parallel.pool = &pool;
+    parallel.parallel_spawn_min_embeddings = 1;
+    GSpanMiner gspan;
+    check(gspan.Mine(db, parallel),
+          "gspan(pool=" + std::to_string(threads) + ")");
+  }
+
+  // PartMiner across unit miners and thread counts; Theorems 1-3 say the
+  // partition-mine-merge-verify pipeline is lossless.
+  for (const UnitMinerKind kind : {UnitMinerKind::kGaston,
+                                   UnitMinerKind::kGSpan}) {
+    for (const int threads : {0, 2, 8}) {
+      if (!result.ok()) break;
+      PartMinerOptions popt;
+      popt.min_support_count = params.min_support;
+      popt.max_edges = params.max_edges;
+      popt.partition.k = params.k;
+      popt.partition.seed = params.seed + 7;
+      popt.unit_miner = kind;
+      popt.unit_mining_threads = threads;
+      PartMiner miner(popt);
+      check(miner.Mine(db).patterns,
+            std::string("partminer(") +
+                (kind == UnitMinerKind::kGaston ? "gaston" : "gspan") +
+                ",threads=" + std::to_string(threads) + ")");
+    }
+  }
+
+  // Fast paths off: the label-index pruning and minimality memoization are
+  // optimizations and must not change any result.
+  if (result.ok()) {
+    SetLabelIndexEnabled(false);
+    SetMinimalityCacheEnabled(false);
+    ClearMinimalityCache();
+    GSpanMiner gspan;
+    check(gspan.Mine(db, options), "gspan(fast paths off)");
+    PartMinerOptions popt;
+    popt.min_support_count = params.min_support;
+    popt.max_edges = params.max_edges;
+    popt.partition.k = params.k;
+    popt.partition.seed = params.seed + 7;
+    PartMiner miner(popt);
+    check(miner.Mine(db).patterns, "partminer(fast paths off)");
+    SetLabelIndexEnabled(true);
+    SetMinimalityCacheEnabled(true);
+    ClearMinimalityCache();
+  }
+
+  // Disk-resident AdiMine on a deliberately tiny pool (constant eviction).
+  if (result.ok()) {
+    AdiMineOptions adi_options;
+    adi_options.buffer_frames = 2;
+    AdiMine adi(adi_options);
+    const Status built = adi.BuildIndex(db);
+    if (!built.ok()) {
+      result.divergence = "adi BuildIndex failed: " + built.ToString();
+    } else {
+      PatternSet patterns;
+      const Status mined = adi.Mine(options, &patterns);
+      if (!mined.ok()) {
+        result.divergence = "adi Mine failed: " + mined.ToString();
+        ++result.configurations;
+      } else {
+        check(patterns, "adi(frames=2)");
+      }
+    }
+  }
+
+  // Incremental round: mine, apply seeded updates, update incrementally,
+  // and compare against a from-scratch re-mining of the updated database.
+  if (result.ok()) {
+    GraphDatabase updated = db;
+    AssignUpdateHotspots(&updated, 0.3, params.seed + 11);
+
+    PartMinerOptions popt;
+    popt.min_support_count = params.min_support;
+    popt.max_edges = params.max_edges;
+    popt.partition.k = params.k;
+    popt.partition.seed = params.seed + 7;
+    PartMiner miner(popt);
+    miner.Mine(updated);
+
+    const UpdateLog log =
+        ApplyUpdates(&updated, params.gen.num_labels, MakeUpdateOptions(params));
+    IncPartMiner inc;
+    const IncPartMinerResult inc_result = inc.Update(&miner, updated, log);
+
+    GSpanMiner gspan;
+    const PatternSet remined = gspan.Mine(updated, options);
+    ++result.configurations;
+    // The incremental result is diffed against a fresh serial mining of the
+    // updated database (itself already validated against the oracle above
+    // on the pre-update database).
+    result.divergence =
+        DiffAgainstOracle(remined, inc_result.patterns, "incpartminer");
+    if (!result.divergence.empty()) {
+      result.divergence =
+          "after seeded updates to " +
+          std::to_string(log.updated_graphs.size()) +
+          " graphs: " + result.divergence;
+    }
+  }
+
+  return result;
+}
+
+DifferentialResult RunDifferentialSeed(uint64_t seed, bool smoke) {
+  const FuzzCaseParams params = MakeFuzzCase(seed, smoke);
+  const GraphDatabase db = GenerateDatabase(params.gen);
+  return RunAllChecks(db, params);
+}
+
+GraphDatabase MinimizeDivergence(const GraphDatabase& db,
+                                 const FuzzCaseParams& params) {
+  GraphDatabase current = db;
+  bool shrunk = true;
+  while (shrunk && current.size() > 1) {
+    shrunk = false;
+    for (int drop = current.size() - 1; drop >= 0; --drop) {
+      GraphDatabase candidate;
+      for (int i = 0; i < current.size(); ++i) {
+        if (i != drop) candidate.Add(current.graph(i), candidate.size());
+      }
+      if (!RunAllChecks(candidate, params).ok()) {
+        current = std::move(candidate);
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+Status WriteReproFile(const std::string& path, const GraphDatabase& db,
+                      const FuzzCaseParams& params,
+                      const std::string& divergence) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "# partminer-fuzz repro seed=" << params.seed
+      << " support=" << params.min_support
+      << " max_edges=" << params.max_edges << " k=" << params.k << "\n";
+  // First line of the divergence, as a comment, for humans browsing the
+  // corpus; replay re-derives the ground truth itself.
+  const size_t eol = divergence.find('\n');
+  if (!divergence.empty()) {
+    out << "# divergence: " << divergence.substr(0, eol) << "\n";
+  }
+  return WriteGraphDatabase(db, out);
+}
+
+Status ReplayReproFile(const std::string& path, DifferentialResult* result) {
+  *result = DifferentialResult();
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string header;
+  if (!std::getline(in, header) ||
+      header.rfind("# partminer-fuzz repro ", 0) != 0) {
+    return Status::Corruption(path + ": missing '# partminer-fuzz repro' "
+                              "header");
+  }
+
+  FuzzCaseParams params;
+  std::istringstream tokens(header.substr(std::string("# ").size()));
+  std::string token;
+  while (tokens >> token) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = token.substr(0, eq);
+    const long long value = std::atoll(token.c_str() + eq + 1);
+    if (key == "seed") {
+      params.seed = static_cast<uint64_t>(value);
+    } else if (key == "support") {
+      params.min_support = static_cast<int>(value);
+    } else if (key == "max_edges") {
+      params.max_edges = static_cast<int>(value);
+    } else if (key == "k") {
+      params.k = static_cast<int>(value);
+    }
+  }
+  if (params.min_support < 1 || params.max_edges < 1 || params.k < 2) {
+    return Status::Corruption(path + ": implausible repro parameters");
+  }
+
+  GraphDatabase db;
+  PARTMINER_RETURN_IF_ERROR(ReadGraphDatabaseFile(path, &db));
+  if (db.size() == 0) return Status::Corruption(path + ": empty database");
+  *result = RunAllChecks(db, params);
+  return Status::Ok();
+}
+
+Status ReplayReproDir(const std::string& dir, int* divergences,
+                      int* replayed) {
+  *divergences = 0;
+  *replayed = 0;
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) return Status::Ok();
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() != ".lg") continue;
+    DifferentialResult result;
+    PARTMINER_RETURN_IF_ERROR(
+        ReplayReproFile(entry.path().string(), &result));
+    ++*replayed;
+    if (!result.ok()) ++*divergences;
+  }
+  if (ec) return Status::IoError(dir + ": " + ec.message());
+  return Status::Ok();
+}
+
+}  // namespace testing
+}  // namespace partminer

@@ -1,0 +1,210 @@
+#include "testing/fault_sweep.h"
+
+#include <sstream>
+
+#include "adi/adi_miner.h"
+#include "core/part_miner.h"
+#include "core/state_io.h"
+#include "common/random.h"
+#include "datagen/generator.h"
+#include "miner/gspan.h"
+#include "storage/fault_injector.h"
+
+namespace partminer {
+namespace testing {
+
+namespace {
+
+GeneratorParams SweepDatabaseParams(uint64_t seed) {
+  // Large enough that the index spans dozens of pages through a 4-frame
+  // pool, so read/write/alloc fault points land throughout build and scan.
+  GeneratorParams gen;
+  gen.num_graphs = 160;
+  gen.num_labels = 4;
+  gen.avg_edges = 20;
+  gen.avg_kernel_edges = 3;
+  gen.num_kernels = 5;
+  gen.seed = seed * 0x9e3779b97f4a7c15ull + 17;
+  return gen;
+}
+
+/// "" when `actual` is exactly `expected` (codes, supports, TID sets).
+std::string DiffExact(const PatternSet& expected, const PatternSet& actual) {
+  if (expected.SortedCodeStrings() != actual.SortedCodeStrings()) {
+    return "pattern sets differ (" + std::to_string(expected.size()) +
+           " vs " + std::to_string(actual.size()) + " patterns)";
+  }
+  for (const PatternInfo& p : expected.patterns()) {
+    const PatternInfo* q = actual.Find(p.code);
+    if (q == nullptr) return "missing " + p.code.ToString();
+    if (q->support != p.support || !(q->tids == p.tids)) {
+      return "support/tids differ for " + p.code.ToString();
+    }
+  }
+  return "";
+}
+
+/// One fault-injected build+mine. Returns via the outcome counters; any
+/// contract violation (wrong result under OK status, or failure to recover
+/// once the injector is detached) is appended to `violations`.
+void RunInjectedAdiRound(const GraphDatabase& db, const PatternSet& expected,
+                         const MinerOptions& options, FaultInjector* injector,
+                         const std::string& label, FaultSweepOutcome* out) {
+  ++out->runs;
+  AdiMineOptions adi_options;
+  adi_options.buffer_frames = 4;  // Tiny pool: every fault point is hot.
+  AdiMine miner(adi_options);
+  miner.set_fault_injector(injector);
+
+  Status status = miner.BuildIndex(db);
+  PatternSet patterns;
+  if (status.ok()) status = miner.Mine(options, &patterns);
+
+  if (!status.ok()) {
+    ++out->clean_failures;
+    if (status.message().empty()) {
+      out->violations.push_back(label + ": failure with empty message");
+    }
+  } else {
+    const std::string diff = DiffExact(expected, patterns);
+    if (diff.empty()) {
+      ++out->successes;
+    } else {
+      out->violations.push_back(label + ": OK status but wrong result: " +
+                                diff);
+    }
+  }
+
+  // Recovery: with the injector detached, the same miner object must
+  // rebuild and produce the exact fault-free result — no poisoned state.
+  miner.set_fault_injector(nullptr);
+  const Status rebuilt = miner.BuildIndex(db);
+  if (!rebuilt.ok()) {
+    out->violations.push_back(label + ": recovery rebuild failed: " +
+                              rebuilt.ToString());
+    return;
+  }
+  PatternSet recovered;
+  const Status remined = miner.Mine(options, &recovered);
+  if (!remined.ok()) {
+    out->violations.push_back(label + ": recovery mine failed: " +
+                              remined.ToString());
+    return;
+  }
+  const std::string diff = DiffExact(expected, recovered);
+  if (!diff.empty()) {
+    out->violations.push_back(label + ": wrong result after recovery: " +
+                              diff);
+  }
+}
+
+}  // namespace
+
+FaultSweepOutcome RunAdiFaultSweep(uint64_t seed) {
+  FaultSweepOutcome out;
+  const GraphDatabase db = GenerateDatabase(SweepDatabaseParams(seed));
+
+  MinerOptions options;
+  options.min_support = 16;
+  options.max_edges = 4;
+  GSpanMiner gspan;
+  const PatternSet expected = gspan.Mine(db, options);
+
+  const FaultInjector::Op kOps[] = {FaultInjector::Op::kRead,
+                                    FaultInjector::Op::kWrite,
+                                    FaultInjector::Op::kAlloc};
+
+  // Probabilistic sweep: the paper-scale p grid from the issue.
+  for (const double p : {0.001, 0.01, 0.1}) {
+    for (const FaultInjector::Op op : kOps) {
+      for (int round = 0; round < 4; ++round) {
+        FaultInjector injector(seed ^ (static_cast<uint64_t>(round) << 32) ^
+                               static_cast<uint64_t>(p * 1e6));
+        injector.SetProbability(op, p);
+        std::ostringstream label;
+        label << "p=" << p << " op=" << FaultInjector::OpName(op)
+              << " round=" << round;
+        RunInjectedAdiRound(db, expected, options, &injector, label.str(),
+                            &out);
+      }
+    }
+  }
+
+  // Scripted sweep: fail exactly the n-th operation of each kind, walking
+  // the fault point through the whole build+mine prefix.
+  for (const FaultInjector::Op op : kOps) {
+    for (int n = 0; n < 40; ++n) {
+      FaultInjector injector(seed);
+      injector.FailOnce(op, n);
+      std::ostringstream label;
+      label << "fail-once op=" << FaultInjector::OpName(op) << " n=" << n;
+      RunInjectedAdiRound(db, expected, options, &injector, label.str(),
+                          &out);
+    }
+  }
+  return out;
+}
+
+FaultSweepOutcome RunStateIoFaultSweep(uint64_t seed) {
+  FaultSweepOutcome out;
+  GraphDatabase db = GenerateDatabase(SweepDatabaseParams(seed + 1));
+
+  PartMinerOptions options;
+  options.min_support_count = 4;
+  options.partition.k = 2;
+  PartMiner miner(options);
+  miner.Mine(db);
+
+  std::stringstream buffer;
+  const Status saved = SaveMinerState(miner, buffer);
+  if (!saved.ok()) {
+    out.violations.push_back("save failed: " + saved.ToString());
+    return out;
+  }
+  const std::string bytes = buffer.str();
+
+  auto try_load = [&](const std::string& image, const std::string& label) {
+    ++out.runs;
+    PartMiner restored(options);
+    std::istringstream in(image);
+    const Status status = LoadMinerState(in, &restored);
+    if (!status.ok()) {
+      ++out.clean_failures;
+      if (restored.mined()) {
+        out.violations.push_back(label +
+                                 ": failed load left the miner mined");
+      }
+      return;
+    }
+    // A load that succeeds despite tampering must have restored exactly
+    // the saved result (only possible for no-op corruptions).
+    const std::string diff = DiffExact(miner.verified(), restored.verified());
+    if (diff.empty()) {
+      ++out.successes;
+    } else {
+      out.violations.push_back(label + ": OK load with wrong state: " + diff);
+    }
+  };
+
+  Rng rng(seed + 5);
+  for (int i = 0; i < 48; ++i) {
+    const size_t cut = 1 + rng.Uniform(bytes.size() - 1);
+    try_load(bytes.substr(0, cut),
+             "truncate to " + std::to_string(cut) + " bytes");
+  }
+  for (int i = 0; i < 48; ++i) {
+    std::string flipped = bytes;
+    const size_t pos = rng.Uniform(flipped.size());
+    flipped[pos] = static_cast<char>(flipped[pos] ^ (1u << rng.Uniform(8)));
+    try_load(flipped, "bit flip at byte " + std::to_string(pos));
+  }
+  // Control: the untampered image must load with the exact state.
+  try_load(bytes, "untampered");
+  if (out.successes == 0) {
+    out.violations.push_back("untampered image failed to load");
+  }
+  return out;
+}
+
+}  // namespace testing
+}  // namespace partminer

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "common/random.h"
@@ -46,6 +48,73 @@ TEST(GraphIoTest, RejectsMalformedInput) {
     GraphDatabase db;
     EXPECT_FALSE(ReadGraphDatabase(in, &db).ok()) << text;
   }
+}
+
+TEST(GraphIoTest, ErrorsAreLineNumberedAndSpecific) {
+  struct Case {
+    const char* text;
+    const char* line;       // Expected "line <n>" location.
+    const char* substring;  // Expected diagnosis.
+  };
+  const Case cases[] = {
+      {"t # 0\nv 0 1\nv 0 2\n", "line 3", "duplicate vertex id 0"},
+      {"t # 0\nv 0 1\nv 2 2\n", "line 3", "non-dense vertex id 2"},
+      {"t # 0\nv 0 1\nv 1 2\ne 0 5 1\n", "line 4",
+       "dangling edge endpoint 5 (graph has 2 vertices)"},
+      {"t # 0\nv 0 1\ne 0 0 1\n", "line 3", "self-loop edge at vertex 0"},
+      {"t # 0\nv 0 1\nv 1 2\ne 0 1 3\ne 0 1 4\n", "line 5",
+       "duplicate edge 0-1"},
+      {"t # -7\n", "line 1", "negative graph id -7"},
+      {"t # 0\nv 0 1 9\n", "line 2", "trailing tokens"},
+  };
+  for (const Case& c : cases) {
+    std::istringstream in(c.text);
+    GraphDatabase db;
+    const Status status = ReadGraphDatabase(in, &db);
+    ASSERT_EQ(status.code(), Status::Code::kCorruption) << c.text;
+    EXPECT_NE(status.message().find(c.line), std::string::npos)
+        << status.ToString();
+    EXPECT_NE(status.message().find(c.substring), std::string::npos)
+        << status.ToString();
+  }
+}
+
+// Every file in data/corpus/malformed/ carries a first-line
+// `# expect-error: <substring>` annotation; loading it must fail with a
+// Corruption status containing that substring and a line number. New
+// rejection paths get coverage by dropping in a file — no code changes.
+TEST(GraphIoCorpusTest, MalformedCorpusIsRejectedAsAnnotated) {
+  const std::filesystem::path dir =
+      std::filesystem::path(PARTMINER_SOURCE_DIR) / "data" / "corpus" /
+      "malformed";
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  int files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".lg") continue;
+    ++files;
+    SCOPED_TRACE(entry.path().filename().string());
+
+    std::ifstream in(entry.path());
+    ASSERT_TRUE(in.is_open());
+    std::string annotation;
+    ASSERT_TRUE(std::getline(in, annotation));
+    const std::string marker = "# expect-error: ";
+    ASSERT_EQ(annotation.rfind(marker, 0), 0u)
+        << "first line must be '" << marker << "<substring>'";
+    const std::string expected = annotation.substr(marker.size());
+    ASSERT_FALSE(expected.empty());
+
+    in.seekg(0);
+    GraphDatabase db;
+    const Status status = ReadGraphDatabase(in, &db);
+    ASSERT_FALSE(status.ok()) << "parsed successfully";
+    EXPECT_EQ(status.code(), Status::Code::kCorruption);
+    EXPECT_NE(status.message().find(expected), std::string::npos)
+        << status.ToString();
+    EXPECT_NE(status.message().find("line "), std::string::npos)
+        << status.ToString();
+  }
+  EXPECT_GE(files, 10);  // The corpus covers every rejection path.
 }
 
 TEST(GraphIoTest, RoundTripPreservesIsomorphismClass) {

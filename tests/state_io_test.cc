@@ -137,5 +137,83 @@ TEST(StateIoTest, RejectsCorruptInput) {
   }
 }
 
+/// Saves a small miner state and returns the serialized bytes.
+std::string SavedStateBytes() {
+  GraphDatabase db = MakeDatabase(17);
+  PartMinerOptions options;
+  options.min_support_count = 4;
+  options.partition.k = 2;
+  PartMiner miner(options);
+  miner.Mine(db);
+  std::stringstream buffer;
+  EXPECT_TRUE(SaveMinerState(miner, buffer).ok());
+  return buffer.str();
+}
+
+TEST(StateIoTest, TruncatedFileIsRejectedWithDescriptiveStatus) {
+  const std::string bytes = SavedStateBytes();
+  ASSERT_GT(bytes.size(), 64u);
+  PartMinerOptions options;
+  options.partition.k = 2;
+
+  // Every truncation point that loses data — cutting mid-footer, cutting
+  // the footer off entirely, cutting mid-payload — must fail cleanly and
+  // leave the miner untouched. (Losing only the final newline loses no
+  // data; the footer still validates and the load is allowed to succeed.)
+  for (size_t cut : {bytes.size() - 2, bytes.size() - 8, bytes.size() / 2,
+                     bytes.size() / 4, size_t{64}, size_t{1}}) {
+    PartMiner miner(options);
+    std::stringstream in(bytes.substr(0, cut));
+    const Status status = LoadMinerState(in, &miner);
+    EXPECT_EQ(status.code(), Status::Code::kCorruption) << "cut=" << cut;
+    EXPECT_FALSE(status.message().empty()) << "cut=" << cut;
+    EXPECT_FALSE(miner.mined()) << "cut=" << cut;
+  }
+}
+
+TEST(StateIoTest, BitFlippedFileIsRejected) {
+  const std::string bytes = SavedStateBytes();
+  PartMinerOptions options;
+  options.partition.k = 2;
+
+  // Flip one bit at a spread of positions across the payload. Loads must
+  // either fail (almost always a checksum mismatch) — never restore state
+  // that differs from what was saved.
+  for (size_t pos = 0; pos < bytes.size(); pos += bytes.size() / 23 + 1) {
+    std::string corrupted = bytes;
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ 0x10);
+    PartMiner miner(options);
+    std::stringstream in(corrupted);
+    const Status status = LoadMinerState(in, &miner);
+    EXPECT_FALSE(status.ok()) << "pos=" << pos;
+    EXPECT_FALSE(miner.mined()) << "pos=" << pos;
+  }
+}
+
+TEST(StateIoTest, ChecksumFailureNamesTheProblem) {
+  std::string bytes = SavedStateBytes();
+  // Flip a byte in the middle of the payload: the footer no longer matches.
+  bytes[bytes.size() / 2] ^= 0x01;
+  PartMiner miner{PartMinerOptions{}};
+  std::stringstream in(bytes);
+  const Status status = LoadMinerState(in, &miner);
+  EXPECT_EQ(status.code(), Status::Code::kCorruption);
+  EXPECT_NE(status.message().find("checksum mismatch"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(StateIoTest, LegacyV1FileWithoutFooterIsRejected) {
+  // A well-formed v1 header with no footer must be refused up front, not
+  // half-parsed.
+  PartMiner miner{PartMinerOptions{}};
+  std::stringstream in(
+      "partminer-state 1\nroot_support 2\nk 2\ngraphs 0\nnodes 0\n"
+      "verified\npatterns 0\n");
+  const Status status = LoadMinerState(in, &miner);
+  EXPECT_EQ(status.code(), Status::Code::kCorruption);
+  EXPECT_NE(status.message().find("footer"), std::string::npos)
+      << status.ToString();
+}
+
 }  // namespace
 }  // namespace partminer

@@ -7,6 +7,7 @@
 
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
+#include "storage/fault_injector.h"
 
 namespace partminer {
 namespace {
@@ -16,11 +17,35 @@ std::string TempPath(const char* tag) {
          std::to_string(::getpid());
 }
 
+/// Allocates a pinned page, asserting success.
+char* MustAllocate(BufferPool* pool, PageId* id) {
+  char* frame = nullptr;
+  const Status status = pool->Allocate(id, &frame);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(frame, nullptr);
+  return frame;
+}
+
+/// Fetches a pinned page, asserting success.
+char* MustFetch(BufferPool* pool, PageId id) {
+  char* frame = nullptr;
+  const Status status = pool->Fetch(id, &frame);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(frame, nullptr);
+  return frame;
+}
+
+PageId MustAllocatePage(DiskManager* disk) {
+  PageId id = kInvalidPageId;
+  EXPECT_TRUE(disk->Allocate(&id).ok());
+  return id;
+}
+
 TEST(DiskManagerTest, RoundTripPages) {
   DiskManager disk;
   ASSERT_TRUE(disk.Open(TempPath("rt")).ok());
-  const PageId a = disk.Allocate();
-  const PageId b = disk.Allocate();
+  const PageId a = MustAllocatePage(&disk);
+  const PageId b = MustAllocatePage(&disk);
   EXPECT_EQ(a, 0);
   EXPECT_EQ(b, 1);
 
@@ -41,11 +66,73 @@ TEST(DiskManagerTest, RoundTripPages) {
 TEST(DiskManagerTest, ResetDropsPages) {
   DiskManager disk;
   ASSERT_TRUE(disk.Open(TempPath("reset")).ok());
-  disk.Allocate();
-  disk.Allocate();
+  MustAllocatePage(&disk);
+  MustAllocatePage(&disk);
   EXPECT_EQ(disk.page_count(), 2);
   ASSERT_TRUE(disk.Reset().ok());
   EXPECT_EQ(disk.page_count(), 0);
+}
+
+TEST(DiskManagerTest, InjectedFaultsSurfaceAsIoError) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(TempPath("inject")).ok());
+  FaultInjector injector;
+  disk.set_fault_injector(&injector);
+
+  const PageId page = MustAllocatePage(&disk);
+  char buf[kPageSize] = {};
+
+  injector.FailOnce(FaultInjector::Op::kRead, 0);
+  const Status read = disk.ReadPage(page, buf);
+  EXPECT_EQ(read.code(), Status::Code::kIoError);
+  EXPECT_NE(read.message().find("injected read fault"), std::string::npos)
+      << read.ToString();
+  EXPECT_TRUE(disk.ReadPage(page, buf).ok());  // Fault was one-shot.
+
+  injector.FailOnce(FaultInjector::Op::kWrite, 0);
+  EXPECT_EQ(disk.WritePage(page, buf).code(), Status::Code::kIoError);
+  EXPECT_TRUE(disk.WritePage(page, buf).ok());
+
+  injector.FailOnce(FaultInjector::Op::kAlloc, 0);
+  PageId id = 0;
+  EXPECT_EQ(disk.Allocate(&id).code(), Status::Code::kIoError);
+  EXPECT_EQ(id, kInvalidPageId);
+  EXPECT_TRUE(disk.Allocate(&id).ok());
+
+  EXPECT_EQ(disk.stats().injected_faults, 3);
+  disk.set_fault_injector(nullptr);
+}
+
+TEST(FaultInjectorTest, SchedulesAreDeterministic) {
+  // Same seed and probability: two injectors agree on every decision.
+  FaultInjector a(42), b(42);
+  a.SetProbability(FaultInjector::Op::kRead, 0.3);
+  b.SetProbability(FaultInjector::Op::kRead, 0.3);
+  int faults = 0;
+  for (int i = 0; i < 200; ++i) {
+    const bool fa = a.ShouldFail(FaultInjector::Op::kRead);
+    EXPECT_EQ(fa, b.ShouldFail(FaultInjector::Op::kRead)) << i;
+    faults += fa ? 1 : 0;
+  }
+  EXPECT_GT(faults, 20);   // ~60 expected.
+  EXPECT_LT(faults, 120);
+  EXPECT_EQ(a.operations(FaultInjector::Op::kRead), 200);
+  EXPECT_EQ(a.injected(FaultInjector::Op::kRead), faults);
+}
+
+TEST(FaultInjectorTest, FailNWindowAndReset) {
+  FaultInjector injector;
+  injector.FailN(FaultInjector::Op::kWrite, 2, 3);
+  int pattern = 0;
+  for (int i = 0; i < 8; ++i) {
+    pattern = pattern * 2 +
+              (injector.ShouldFail(FaultInjector::Op::kWrite) ? 1 : 0);
+  }
+  EXPECT_EQ(pattern, 0b00111000);
+  injector.FailN(FaultInjector::Op::kWrite, 0, 1);
+  injector.Reset();
+  EXPECT_FALSE(injector.ShouldFail(FaultInjector::Op::kWrite));
+  EXPECT_EQ(injector.total_injected(), 3);
 }
 
 TEST(BufferPoolTest, FetchCachesPages) {
@@ -54,15 +141,13 @@ TEST(BufferPoolTest, FetchCachesPages) {
   BufferPool pool(&disk, 4);
 
   PageId id;
-  char* data = pool.Allocate(&id);
-  ASSERT_NE(data, nullptr);
+  char* data = MustAllocate(&pool, &id);
   data[0] = 42;
   pool.Unpin(id, /*dirty=*/true);
 
   // Cached fetch: no disk read.
   const int64_t reads_before = disk.stats().page_reads;
-  char* again = pool.Fetch(id);
-  ASSERT_NE(again, nullptr);
+  char* again = MustFetch(&pool, id);
   EXPECT_EQ(again[0], 42);
   EXPECT_EQ(disk.stats().page_reads, reads_before);
   pool.Unpin(id, false);
@@ -77,8 +162,7 @@ TEST(BufferPoolTest, EvictionWritesBackDirtyPages) {
   // Fill three pages through a two-frame pool.
   PageId ids[3];
   for (int i = 0; i < 3; ++i) {
-    char* data = pool.Allocate(&ids[i]);
-    ASSERT_NE(data, nullptr);
+    char* data = MustAllocate(&pool, &ids[i]);
     data[0] = static_cast<char>(i + 1);
     pool.Unpin(ids[i], true);
   }
@@ -86,23 +170,90 @@ TEST(BufferPoolTest, EvictionWritesBackDirtyPages) {
   EXPECT_GT(disk.stats().page_writes, 0);
 
   // Page 0 was evicted; fetching it re-reads the written-back contents.
-  char* data = pool.Fetch(ids[0]);
-  ASSERT_NE(data, nullptr);
+  char* data = MustFetch(&pool, ids[0]);
   EXPECT_EQ(data[0], 1);
   pool.Unpin(ids[0], false);
   EXPECT_GT(disk.stats().page_reads, 0);
 }
 
-TEST(BufferPoolTest, AllPinnedReturnsNull) {
+TEST(BufferPoolTest, AllPinnedIsResourceExhausted) {
   DiskManager disk;
   ASSERT_TRUE(disk.Open(TempPath("pinned")).ok());
   BufferPool pool(&disk, 2);
   PageId a, b, c;
-  ASSERT_NE(pool.Allocate(&a), nullptr);
-  ASSERT_NE(pool.Allocate(&b), nullptr);
-  EXPECT_EQ(pool.Allocate(&c), nullptr);  // No frame available.
+  char* frame = nullptr;
+  MustAllocate(&pool, &a);
+  MustAllocate(&pool, &b);
+  const Status full = pool.Allocate(&c, &frame);
+  EXPECT_EQ(full.code(), Status::Code::kResourceExhausted);
+  EXPECT_EQ(frame, nullptr);
   pool.Unpin(a, false);
-  EXPECT_NE(pool.Allocate(&c), nullptr);  // LRU frame reclaimed.
+  MustAllocate(&pool, &c);  // LRU frame reclaimed.
+}
+
+TEST(BufferPoolTest, EvictionWriteBackFaultLosesNothing) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(TempPath("evfault")).ok());
+  FaultInjector injector;
+  BufferPool pool(&disk, 1);
+
+  PageId dirty;
+  char* data = MustAllocate(&pool, &dirty);
+  data[0] = 77;
+  pool.Unpin(dirty, /*dirty=*/true);
+
+  // Every write fails: the eviction write-back surfaces the error and must
+  // leave the dirty page cached and intact.
+  disk.set_fault_injector(&injector);
+  injector.SetProbability(FaultInjector::Op::kWrite, 1.0);
+  PageId fresh;
+  char* frame = nullptr;
+  const Status evict = pool.Allocate(&fresh, &frame);
+  EXPECT_EQ(evict.code(), Status::Code::kIoError);
+  EXPECT_NE(evict.message().find("injected write fault"), std::string::npos)
+      << evict.ToString();
+
+  // Heal the disk: the page is still cached with its data, and a flush
+  // now persists it.
+  disk.set_fault_injector(nullptr);
+  char* survived = MustFetch(&pool, dirty);
+  EXPECT_EQ(survived[0], 77);
+  pool.Unpin(dirty, false);
+  EXPECT_TRUE(pool.FlushAll().ok());
+  pool.Clear();
+  char* reread = MustFetch(&pool, dirty);
+  EXPECT_EQ(reread[0], 77);
+  pool.Unpin(dirty, false);
+}
+
+TEST(BufferPoolTest, FailedReadDoesNotCacheGarbage) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(TempPath("readfault")).ok());
+  FaultInjector injector;
+  BufferPool pool(&disk, 2);
+
+  PageId id;
+  char* data = MustAllocate(&pool, &id);
+  data[0] = 11;
+  pool.Unpin(id, true);
+  ASSERT_TRUE(pool.FlushAll().ok());
+  pool.Clear();
+
+  disk.set_fault_injector(&injector);
+  injector.FailOnce(FaultInjector::Op::kRead, 0);
+  char* frame = nullptr;
+  const Status failed = pool.Fetch(id, &frame);
+  EXPECT_EQ(failed.code(), Status::Code::kIoError);
+  EXPECT_EQ(frame, nullptr);
+
+  // The failed fetch must not have installed anything: the retry re-reads
+  // from disk and sees the real data.
+  const int64_t reads_before = disk.stats().page_reads;
+  char* retry = MustFetch(&pool, id);
+  EXPECT_EQ(retry[0], 11);
+  EXPECT_EQ(disk.stats().page_reads, reads_before + 1);
+  pool.Unpin(id, false);
+  disk.set_fault_injector(nullptr);
 }
 
 TEST(BufferPoolTest, PinnedPagesSurviveEvictionPressure) {
@@ -110,15 +261,13 @@ TEST(BufferPoolTest, PinnedPagesSurviveEvictionPressure) {
   ASSERT_TRUE(disk.Open(TempPath("pin2")).ok());
   BufferPool pool(&disk, 2);
   PageId pinned;
-  char* data = pool.Allocate(&pinned);
-  ASSERT_NE(data, nullptr);
+  char* data = MustAllocate(&pool, &pinned);
   data[7] = 99;
 
   // Churn the other frame.
   for (int i = 0; i < 5; ++i) {
     PageId id;
-    char* p = pool.Allocate(&id);
-    ASSERT_NE(p, nullptr);
+    MustAllocate(&pool, &id);
     pool.Unpin(id, true);
   }
   EXPECT_EQ(data[7], 99);  // Still resident and intact.
@@ -135,14 +284,12 @@ TEST(BufferPoolTest, ShardedPoolKeepsPagesIntact) {
 
   PageId ids[8];
   for (int i = 0; i < 8; ++i) {
-    char* data = pool.Allocate(&ids[i]);
-    ASSERT_NE(data, nullptr);
+    char* data = MustAllocate(&pool, &ids[i]);
     data[0] = static_cast<char>(i + 1);
     pool.Unpin(ids[i], true);
   }
   for (int i = 0; i < 8; ++i) {
-    char* data = pool.Fetch(ids[i]);
-    ASSERT_NE(data, nullptr);
+    char* data = MustFetch(&pool, ids[i]);
     EXPECT_EQ(data[0], static_cast<char>(i + 1));
     pool.Unpin(ids[i], false);
   }
@@ -159,15 +306,13 @@ TEST(BufferPoolTest, ShardedEvictionWritesBack) {
   BufferPool pool(&disk, 2, /*shards=*/2);
   PageId ids[4];
   for (int i = 0; i < 4; ++i) {
-    char* data = pool.Allocate(&ids[i]);
-    ASSERT_NE(data, nullptr);
+    char* data = MustAllocate(&pool, &ids[i]);
     data[0] = static_cast<char>(0x10 + i);
     pool.Unpin(ids[i], true);
   }
   EXPECT_GT(disk.stats().evictions, 0);
   for (int i = 0; i < 4; ++i) {
-    char* data = pool.Fetch(ids[i]);
-    ASSERT_NE(data, nullptr);
+    char* data = MustFetch(&pool, ids[i]);
     EXPECT_EQ(data[0], static_cast<char>(0x10 + i));
     pool.Unpin(ids[i], false);
   }
@@ -183,8 +328,7 @@ TEST(BufferPoolTest, ConcurrentFetchesKeepStatsExact) {
 
   PageId ids[kPages];
   for (int i = 0; i < kPages; ++i) {
-    char* data = pool.Allocate(&ids[i]);
-    ASSERT_NE(data, nullptr);
+    char* data = MustAllocate(&pool, &ids[i]);
     std::memset(data, i + 1, kPageSize);
     pool.Unpin(ids[i], true);
   }
@@ -197,8 +341,9 @@ TEST(BufferPoolTest, ConcurrentFetchesKeepStatsExact) {
     workers.emplace_back([&, t]() {
       for (int r = 0; r < kRounds; ++r) {
         const int i = (r * (t + 1)) % kPages;
-        char* data = pool.Fetch(ids[i]);
-        if (data == nullptr || data[0] != static_cast<char>(i + 1) ||
+        char* data = nullptr;
+        if (!pool.Fetch(ids[i], &data).ok() || data == nullptr ||
+            data[0] != static_cast<char>(i + 1) ||
             data[kPageSize - 1] != static_cast<char>(i + 1)) {
           corrupt.fetch_add(1);
         }
@@ -214,18 +359,69 @@ TEST(BufferPoolTest, ConcurrentFetchesKeepStatsExact) {
   EXPECT_EQ(disk.stats().pool_misses, misses_before);
 }
 
+TEST(BufferPoolTest, ConcurrentFetchesUnderInjectedFaultsStayConsistent) {
+  // Probabilistic read faults while many workers fetch: every failure must
+  // be a clean Status and every success must return intact data.
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(TempPath("concfault")).ok());
+  constexpr int kPages = 32;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 150;
+  BufferPool pool(&disk, 4, /*shards=*/2);  // Tiny pool: constant eviction.
+
+  PageId ids[kPages];
+  for (int i = 0; i < kPages; ++i) {
+    char* data = MustAllocate(&pool, &ids[i]);
+    std::memset(data, i + 1, kPageSize);
+    pool.Unpin(ids[i], true);
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+
+  FaultInjector injector(7);
+  injector.SetProbability(FaultInjector::Op::kRead, 0.05);
+  injector.SetProbability(FaultInjector::Op::kWrite, 0.05);
+  disk.set_fault_injector(&injector);
+
+  std::atomic<int> corrupt{0};
+  std::atomic<int> clean_failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t]() {
+      for (int r = 0; r < kRounds; ++r) {
+        const int i = (r * (t + 3)) % kPages;
+        char* data = nullptr;
+        const Status status = pool.Fetch(ids[i], &data);
+        if (!status.ok()) {
+          clean_failures.fetch_add(1);
+          if (data != nullptr) corrupt.fetch_add(1);  // Contract violation.
+          continue;
+        }
+        if (data == nullptr || data[0] != static_cast<char>(i + 1) ||
+            data[kPageSize - 1] != static_cast<char>(i + 1)) {
+          corrupt.fetch_add(1);
+        }
+        if (data != nullptr) pool.Unpin(ids[i], false);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  disk.set_fault_injector(nullptr);
+  EXPECT_EQ(corrupt.load(), 0);
+  EXPECT_GT(clean_failures.load(), 0);  // p=0.05 over ~1000 misses.
+}
+
 TEST(BufferPoolTest, ClearResetsFrames) {
   DiskManager disk;
   ASSERT_TRUE(disk.Open(TempPath("clear")).ok());
   BufferPool pool(&disk, 2);
   PageId a;
-  ASSERT_NE(pool.Allocate(&a), nullptr);
+  MustAllocate(&pool, &a);
   pool.Unpin(a, true);
   ASSERT_TRUE(pool.FlushAll().ok());
   pool.Clear();
   // After Clear, fetching re-reads from disk.
   const int64_t reads_before = disk.stats().page_reads;
-  ASSERT_NE(pool.Fetch(a), nullptr);
+  MustFetch(&pool, a);
   EXPECT_EQ(disk.stats().page_reads, reads_before + 1);
   pool.Unpin(a, false);
 }

@@ -1,5 +1,6 @@
-// Stress / failure-injection tests: adversarial update sequences, degenerate
-// partitions, and boundary parameters that unit tests miss.
+// Stress / failure-injection tests: degenerate partitions and boundary
+// parameters that unit tests miss. The long many-round incremental cases
+// live in stress_slow_test.cc under the `slow` ctest label.
 
 #include <gtest/gtest.h>
 
@@ -21,86 +22,6 @@ void ExpectSamePatterns(const PatternSet& expected, const PatternSet& actual,
     const PatternInfo* q = actual.Find(p.code);
     ASSERT_NE(q, nullptr) << what;
     EXPECT_EQ(p.support, q->support) << what << " " << p.code.ToString();
-  }
-}
-
-TEST(StressTest, ManyIncrementalRoundsMixedKinds) {
-  // Ten rounds alternating update kinds and fractions, including new labels;
-  // exactness must hold after every round.
-  GeneratorParams params;
-  params.num_graphs = 20;
-  params.avg_edges = 10;
-  params.num_labels = 4;
-  params.num_kernels = 6;
-  params.seed = 31;
-  GraphDatabase db = GenerateDatabase(params);
-  AssignUpdateHotspots(&db, 0.2, 32);
-
-  PartMinerOptions options;
-  options.min_support_count = 4;
-  options.partition.k = 4;
-  PartMiner miner(options);
-  miner.Mine(db);
-
-  GSpanMiner gspan;
-  MinerOptions full;
-  full.min_support = 4;
-
-  IncPartMiner inc;
-  for (int round = 0; round < 10; ++round) {
-    UpdateOptions upd;
-    upd.fraction_graphs = (round % 3 == 0) ? 0.05 : 0.5;
-    upd.updates_per_graph = 1 + round % 3;
-    upd.new_label_probability = 0.4;  // Aggressive new-label injection.
-    upd.kinds = {static_cast<UpdateKind>(round % 3)};
-    upd.seed = 7000 + round;
-    const UpdateLog log = ApplyUpdates(&db, params.num_labels, upd);
-    const IncPartMinerResult r = inc.Update(&miner, db, log);
-    ExpectSamePatterns(gspan.Mine(db, full), r.patterns,
-                       "round " + std::to_string(round));
-  }
-}
-
-TEST(StressTest, VertexChainsRouteThroughNewVertices) {
-  // AddVertex updates can chain (a new vertex attached to a new vertex via
-  // repeated rounds); assignment extension must stay total.
-  GeneratorParams params;
-  params.num_graphs = 10;
-  params.avg_edges = 8;
-  params.num_labels = 4;
-  params.num_kernels = 4;
-  params.seed = 77;
-  GraphDatabase db = GenerateDatabase(params);
-
-  PartMinerOptions options;
-  options.min_support_count = 3;
-  options.partition.k = 3;
-  PartMiner miner(options);
-  miner.Mine(db);
-
-  GSpanMiner gspan;
-  MinerOptions full;
-  full.min_support = 3;
-  IncPartMiner inc;
-  for (int round = 0; round < 5; ++round) {
-    UpdateOptions upd;
-    upd.fraction_graphs = 1.0;
-    upd.updates_per_graph = 3;
-    upd.kinds = {UpdateKind::kAddVertex};
-    upd.seed = 900 + round;
-    const UpdateLog log = ApplyUpdates(&db, params.num_labels, upd);
-    const IncPartMinerResult r = inc.Update(&miner, db, log);
-    ExpectSamePatterns(gspan.Mine(db, full), r.patterns,
-                       "chain round " + std::to_string(round));
-    // Every vertex of every graph must have a unit assignment.
-    const PartitionedDatabase& part = miner.partitioned();
-    for (int i = 0; i < db.size(); ++i) {
-      for (VertexId v = 0; v < db.graph(i).VertexCount(); ++v) {
-        const int unit = part.unit_of(i, v);
-        EXPECT_GE(unit, 0);
-        EXPECT_LT(unit, 3);
-      }
-    }
   }
 }
 

@@ -243,7 +243,11 @@ int Mine(const std::map<std::string, std::string>& flags) {
     MinerOptions options;
     options.min_support = support_count;
     if (max_edges > 0) options.max_edges = max_edges;
-    patterns = miner.Mine(options);
+    status = miner.Mine(options, &patterns);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
   } else {
     std::fprintf(stderr, "error: unknown --algo=%s\n", algo.c_str());
     return Usage();

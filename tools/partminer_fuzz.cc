@@ -1,0 +1,157 @@
+// partminer_fuzz — differential fuzzing and storage-fault sweeps.
+//
+//   partminer_fuzz [--seeds=N] [--start-seed=S] [--smoke] [--no-faults]
+//                  [--corpus=DIR] [--minimize=0|1]
+//
+// For each seed a small random database is generated and mined with every
+// miner configuration (brute force, gSpan serial/parallel, Gaston,
+// PartMiner across unit miners and thread counts, fast paths off, the
+// disk-resident AdiMine, and an incremental IncPartMiner round); all
+// results are diffed against the brute-force oracle. Any divergence is
+// minimized by greedy graph removal and written to the corpus directory as
+// a replayable .lg repro. The run then replays every existing corpus
+// repro (fixed bugs must stay fixed) and, unless --no-faults, sweeps
+// storage fault injection over the ADI and state-persistence paths.
+//
+// Exit status: 0 when everything agrees and every fault run ended
+// correct-or-clean-error; 1 otherwise.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "datagen/generator.h"
+#include "testing/differential.h"
+#include "testing/fault_sweep.h"
+
+namespace partminer {
+namespace {
+
+using testing::DifferentialResult;
+using testing::FaultSweepOutcome;
+using testing::FuzzCaseParams;
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags[arg] = "1";
+    } else {
+      flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+std::string Get(const std::map<std::string, std::string>& flags,
+                const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int Run(int argc, char** argv) {
+  const std::map<std::string, std::string> flags = ParseFlags(argc, argv);
+  for (const auto& [key, value] : flags) {
+    (void)value;
+    if (key != "seeds" && key != "start-seed" && key != "smoke" &&
+        key != "no-faults" && key != "corpus" && key != "minimize") {
+      std::fprintf(stderr, "warning: unknown flag --%s\n", key.c_str());
+    }
+  }
+  const uint64_t seeds =
+      std::strtoull(Get(flags, "seeds", "100").c_str(), nullptr, 10);
+  const uint64_t start =
+      std::strtoull(Get(flags, "start-seed", "0").c_str(), nullptr, 10);
+  const bool smoke = flags.count("smoke") > 0;
+  const bool faults = flags.count("no-faults") == 0;
+  const bool minimize = Get(flags, "minimize", "1") != "0";
+  const std::string corpus = Get(flags, "corpus", "data/corpus/divergence");
+
+  int divergences = 0;
+  for (uint64_t seed = start; seed < start + seeds; ++seed) {
+    const FuzzCaseParams params = testing::MakeFuzzCase(seed, smoke);
+    const GraphDatabase db = GenerateDatabase(params.gen);
+    const DifferentialResult result = testing::RunAllChecks(db, params);
+    if (result.ok()) {
+      if (seed % 50 == 0 || seed + 1 == start + seeds) {
+        std::printf("seed %llu ok (%d configurations)\n",
+                    static_cast<unsigned long long>(seed),
+                    result.configurations);
+        std::fflush(stdout);
+      }
+      continue;
+    }
+    ++divergences;
+    std::fprintf(stderr, "DIVERGENCE at seed %llu:\n%s\n",
+                 static_cast<unsigned long long>(seed),
+                 result.divergence.c_str());
+    const GraphDatabase minimized =
+        minimize ? testing::MinimizeDivergence(db, params) : db;
+    std::ostringstream path;
+    path << corpus << "/seed_" << seed << ".lg";
+    const Status written = testing::WriteReproFile(
+        path.str(), minimized, params, result.divergence);
+    if (written.ok()) {
+      std::fprintf(stderr, "  minimized repro (%d graphs) -> %s\n",
+                   minimized.size(), path.str().c_str());
+    } else {
+      std::fprintf(stderr, "  could not write repro: %s\n",
+                   written.ToString().c_str());
+    }
+  }
+  std::printf("differential: %llu seeds, %d divergences\n",
+              static_cast<unsigned long long>(seeds), divergences);
+
+  // Replay the checked-in corpus: previously found (and since fixed)
+  // divergences must stay fixed.
+  int replay_divergences = 0, replayed = 0;
+  const Status replay =
+      testing::ReplayReproDir(corpus, &replay_divergences, &replayed);
+  if (!replay.ok()) {
+    std::fprintf(stderr, "corpus replay failed: %s\n",
+                 replay.ToString().c_str());
+    return 1;
+  }
+  std::printf("corpus replay: %d repros, %d still diverge\n", replayed,
+              replay_divergences);
+
+  int fault_violations = 0;
+  if (faults) {
+    const FaultSweepOutcome adi = testing::RunAdiFaultSweep(start + 1);
+    std::printf(
+        "adi fault sweep: %d runs, %d clean failures, %d correct, "
+        "%zu violations\n",
+        adi.runs, adi.clean_failures, adi.successes, adi.violations.size());
+    for (const std::string& v : adi.violations) {
+      std::fprintf(stderr, "VIOLATION (adi): %s\n", v.c_str());
+    }
+    const FaultSweepOutcome state = testing::RunStateIoFaultSweep(start + 2);
+    std::printf(
+        "state_io fault sweep: %d runs, %d clean failures, %d correct, "
+        "%zu violations\n",
+        state.runs, state.clean_failures, state.successes,
+        state.violations.size());
+    for (const std::string& v : state.violations) {
+      std::fprintf(stderr, "VIOLATION (state_io): %s\n", v.c_str());
+    }
+    fault_violations = static_cast<int>(adi.violations.size()) +
+                       static_cast<int>(state.violations.size());
+  }
+
+  return (divergences == 0 && replay_divergences == 0 &&
+          fault_violations == 0)
+             ? 0
+             : 1;
+}
+
+}  // namespace
+}  // namespace partminer
+
+int main(int argc, char** argv) { return partminer::Run(argc, argv); }

@@ -1,0 +1,66 @@
+#!/bin/sh
+# Differential-fuzzing smoke sweep: builds partminer_fuzz under ASan+UBSan
+# and runs a seed sweep plus the storage fault-injection grids. Any miner
+# divergence writes a minimized repro into the divergence corpus and fails
+# the run; any fault-contract violation (crash, leak, or silently wrong
+# result under injected I/O errors) fails it too. Finally the checked-in
+# BENCH_*.json records are cross-checked with tools/bench_compare.py so the
+# correctness sweep and the perf gate travel together.
+#
+# Usage: tools/run_fuzz.sh [--smoke] [--seeds=N] [--bin=PATH] [--corpus=DIR]
+#
+#   --smoke       50-seed sweep with small databases (the ctest `slow`
+#                 target run_fuzz_smoke uses this).
+#   --seeds=N     Override the seed count (default: 50 smoke, 1000 full).
+#   --bin=PATH    Use an already-built partminer_fuzz instead of making the
+#                 ASan build (ctest passes the regular build's binary; the
+#                 dedicated ASan sweep stays available by omitting --bin).
+#   --corpus=DIR  Divergence-corpus directory (default data/corpus/divergence).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+SEEDS=""
+BIN=""
+CORPUS="data/corpus/divergence"
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE=1 ;;
+    --seeds=*) SEEDS="${arg#--seeds=}" ;;
+    --bin=*) BIN="${arg#--bin=}" ;;
+    --corpus=*) CORPUS="${arg#--corpus=}" ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+if [ -z "$SEEDS" ]; then
+  if [ "$SMOKE" = 1 ]; then SEEDS=50; else SEEDS=1000; fi
+fi
+
+if [ -z "$BIN" ]; then
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    "-DPARTMINER_SANITIZE=address;undefined"
+  cmake --build build-asan -j "$(nproc)" --target partminer_fuzz
+  BIN=build-asan/tools/partminer_fuzz
+fi
+
+FLAGS="--seeds=$SEEDS --corpus=$CORPUS"
+if [ "$SMOKE" = 1 ]; then FLAGS="$FLAGS --smoke"; fi
+
+echo "== partminer_fuzz $FLAGS"
+ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 strict_string_checks=1" \
+UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+  "$BIN" $FLAGS
+
+# Perf gate: pair every *_ms block shared by the checked-in BENCH records
+# and fail on >10% regressions. Self-comparison keeps the gate wired (and
+# exercised) even when only one record of a kind exists.
+for record in BENCH_*.json; do
+  [ -e "$record" ] || continue
+  echo "== bench_compare $record"
+  python3 tools/bench_compare.py "$record" "$record" --threshold=0.10
+done
+
+echo "run_fuzz: OK"
