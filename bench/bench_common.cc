@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/parse.h"
 #include "graph/canonical.h"
 #include "graph/label_index.h"
 #include "obs/metrics.h"
@@ -27,13 +28,29 @@ Flags::Flags(int argc, char** argv) {
 double Flags::GetDouble(const std::string& key, double fallback) const {
   consumed_.insert(key);
   const auto it = values_.find(key);
-  return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  if (it == values_.end()) return fallback;
+  double value = 0;
+  if (!ParseDouble(it->second, &value)) {
+    // A garbage numeric flag silently benchmarking the default would
+    // poison the measurement; refuse to run instead.
+    std::fprintf(stderr, "error: --%s=%s is not a number\n", key.c_str(),
+                 it->second.c_str());
+    std::exit(2);
+  }
+  return value;
 }
 
 int Flags::GetInt(const std::string& key, int fallback) const {
   consumed_.insert(key);
   const auto it = values_.find(key);
-  return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  if (it == values_.end()) return fallback;
+  int value = 0;
+  if (!ParseInt32(it->second, &value)) {
+    std::fprintf(stderr, "error: --%s=%s is not an integer\n", key.c_str(),
+                 it->second.c_str());
+    std::exit(2);
+  }
+  return value;
 }
 
 std::string Flags::GetString(const std::string& key,

@@ -1,0 +1,69 @@
+#ifndef PARTMINER_COMMON_PARSE_H_
+#define PARTMINER_COMMON_PARSE_H_
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace partminer {
+
+/// Strict numeric parsing for command-line flags and protocol fields.
+///
+/// The std::atoi idiom the CLIs started with accepts "8abc" (and turns
+/// "abc" into 0), so a typo like --threads=eight silently mined serially.
+/// These helpers accept a value only when the *entire* string (modulo
+/// leading/trailing nothing — no whitespace is tolerated) parses, and leave
+/// `*out` untouched on failure so callers keep their fallback.
+
+inline bool ParseInt64(const std::string& s, int64_t* out) {
+  // strtoll silently skips leading whitespace; reject it up front so the
+  // whole-string contract holds.
+  if (s.empty() || std::isspace(static_cast<unsigned char>(s[0]))) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+inline bool ParseInt32(const std::string& s, int* out) {
+  int64_t v = 0;
+  if (!ParseInt64(s, &v)) return false;
+  if (v < INT32_MIN || v > INT32_MAX) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+inline bool ParseUint64(const std::string& s, uint64_t* out) {
+  if (s.empty() || s[0] == '-' || s[0] == '+' ||
+      std::isspace(static_cast<unsigned char>(s[0]))) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+inline bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty() || std::isspace(static_cast<unsigned char>(s[0]))) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace partminer
+
+#endif  // PARTMINER_COMMON_PARSE_H_

@@ -1,0 +1,339 @@
+#include "service/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace partminer {
+namespace service {
+
+namespace {
+
+/// Hard recursion bound: a hostile client sending "[[[[[..." must get an
+/// error, not a stack overflow. 64 is far beyond any legitimate request.
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  const char* p;
+  const char* end;
+  const char* begin;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(
+        "json parse error at byte " + std::to_string(p - begin) + ": " + what);
+  }
+
+  void SkipWs() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  bool Literal(const char* lit) {
+    const size_t n = std::strlen(lit);
+    if (static_cast<size_t>(end - p) < n || std::strncmp(p, lit, n) != 0) {
+      return false;
+    }
+    p += n;
+    return true;
+  }
+
+  Status ParseString(std::string* out) {
+    if (p >= end || *p != '"') return Error("expected '\"'");
+    ++p;
+    out->clear();
+    while (p < end) {
+      const unsigned char c = static_cast<unsigned char>(*p);
+      if (c == '"') {
+        ++p;
+        return Status::Ok();
+      }
+      if (c == '\\') {
+        ++p;
+        if (p >= end) break;
+        switch (*p) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (end - p < 5) return Error("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char h = p[i];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Error("bad hex digit in \\u escape");
+              }
+            }
+            p += 4;
+            // UTF-8 encode the BMP code point (surrogate pairs are passed
+            // through as two 3-byte sequences; the protocol never needs
+            // astral characters to round-trip exactly).
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Error("bad escape character");
+        }
+        ++p;
+        continue;
+      }
+      if (c < 0x20) return Error("unescaped control character in string");
+      out->push_back(static_cast<char>(c));
+      ++p;
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseValue(Json* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWs();
+    if (p >= end) return Error("unexpected end of input");
+    switch (*p) {
+      case 'n':
+        if (!Literal("null")) return Error("expected 'null'");
+        *out = Json::Null();
+        return Status::Ok();
+      case 't':
+        if (!Literal("true")) return Error("expected 'true'");
+        *out = Json::Bool(true);
+        return Status::Ok();
+      case 'f':
+        if (!Literal("false")) return Error("expected 'false'");
+        *out = Json::Bool(false);
+        return Status::Ok();
+      case '"': {
+        std::string s;
+        PARTMINER_RETURN_IF_ERROR(ParseString(&s));
+        *out = Json::Str(std::move(s));
+        return Status::Ok();
+      }
+      case '[': {
+        ++p;
+        Json array = Json::Array();
+        SkipWs();
+        if (p < end && *p == ']') {
+          ++p;
+          *out = std::move(array);
+          return Status::Ok();
+        }
+        for (;;) {
+          Json item;
+          PARTMINER_RETURN_IF_ERROR(ParseValue(&item, depth + 1));
+          array.Append(std::move(item));
+          SkipWs();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == ']') {
+            ++p;
+            *out = std::move(array);
+            return Status::Ok();
+          }
+          return Error("expected ',' or ']' in array");
+        }
+      }
+      case '{': {
+        ++p;
+        Json object = Json::Object();
+        SkipWs();
+        if (p < end && *p == '}') {
+          ++p;
+          *out = std::move(object);
+          return Status::Ok();
+        }
+        for (;;) {
+          SkipWs();
+          std::string key;
+          PARTMINER_RETURN_IF_ERROR(ParseString(&key));
+          SkipWs();
+          if (p >= end || *p != ':') return Error("expected ':' in object");
+          ++p;
+          Json value;
+          PARTMINER_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+          object.Set(key, std::move(value));
+          SkipWs();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == '}') {
+            ++p;
+            *out = std::move(object);
+            return Status::Ok();
+          }
+          return Error("expected ',' or '}' in object");
+        }
+      }
+      default: {
+        // Number.
+        const char* start = p;
+        if (p < end && *p == '-') ++p;
+        const char* digits_start = p;
+        while (p < end && *p >= '0' && *p <= '9') ++p;
+        if (p == digits_start) return Error("expected a value");
+        bool integral = true;
+        if (p < end && *p == '.') {
+          integral = false;
+          ++p;
+          const char* frac_start = p;
+          while (p < end && *p >= '0' && *p <= '9') ++p;
+          if (p == frac_start) return Error("digits required after '.'");
+        }
+        if (p < end && (*p == 'e' || *p == 'E')) {
+          integral = false;
+          ++p;
+          if (p < end && (*p == '+' || *p == '-')) ++p;
+          const char* exp_start = p;
+          while (p < end && *p >= '0' && *p <= '9') ++p;
+          if (p == exp_start) return Error("digits required in exponent");
+        }
+        const std::string token(start, p);
+        errno = 0;
+        char* parse_end = nullptr;
+        const double value = std::strtod(token.c_str(), &parse_end);
+        if (errno != 0 || parse_end != token.c_str() + token.size()) {
+          return Error("bad number '" + token + "'");
+        }
+        if (integral && value >= -9.2e18 && value <= 9.2e18) {
+          *out = Json::Number(static_cast<int64_t>(value));
+        } else {
+          *out = Json::Number(value);
+        }
+        return Status::Ok();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(raw);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void Json::DumpTo(std::string* out) const {
+  switch (type_) {
+    case Type::kNull:
+      out->append("null");
+      return;
+    case Type::kBool:
+      out->append(bool_ ? "true" : "false");
+      return;
+    case Type::kNumber: {
+      if (is_int_) {
+        out->append(std::to_string(int_));
+        return;
+      }
+      if (!std::isfinite(number_)) {
+        out->append("null");
+        return;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", number_);
+      // Shortest round-trip: prefer %g precisions that re-parse exactly.
+      for (int precision = 1; precision <= 16; ++precision) {
+        char trial[32];
+        std::snprintf(trial, sizeof(trial), "%.*g", precision, number_);
+        if (std::strtod(trial, nullptr) == number_) {
+          out->append(trial);
+          return;
+        }
+      }
+      out->append(buf);
+      return;
+    }
+    case Type::kString:
+      if (raw_) {
+        out->append(string_);
+      } else {
+        AppendJsonString(string_, out);
+      }
+      return;
+    case Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Json& item : items_) {
+        if (!first) out->push_back(',');
+        first = false;
+        item.DumpTo(out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : fields_) {
+        if (!first) out->push_back(',');
+        first = false;
+        AppendJsonString(key, out);
+        out->push_back(':');
+        value.DumpTo(out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(&out);
+  return out;
+}
+
+Status Json::Parse(const std::string& text, Json* out) {
+  Parser parser{text.data(), text.data() + text.size(), text.data()};
+  PARTMINER_RETURN_IF_ERROR(parser.ParseValue(out, 0));
+  parser.SkipWs();
+  if (parser.p != parser.end) {
+    return parser.Error("trailing characters after value");
+  }
+  return Status::Ok();
+}
+
+}  // namespace service
+}  // namespace partminer

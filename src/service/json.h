@@ -1,0 +1,142 @@
+#ifndef PARTMINER_SERVICE_JSON_H_
+#define PARTMINER_SERVICE_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace partminer {
+namespace service {
+
+/// Minimal JSON document model for the newline-delimited daemon protocol
+/// (DESIGN.md section 12). Self-contained on purpose: the container bakes no
+/// JSON dependency, and the obs registry already emits JSON by hand — this
+/// is the matching parser side, hardened for untrusted socket input
+/// (depth-limited recursion, strict UTF-8-agnostic byte handling, every
+/// malformed input yields InvalidArgument with a byte offset, never a crash).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  static Json Null() { return Json(); }
+  static Json Bool(bool b) {
+    Json j;
+    j.type_ = Type::kBool;
+    j.bool_ = b;
+    return j;
+  }
+  static Json Number(double d) {
+    Json j;
+    j.type_ = Type::kNumber;
+    j.number_ = d;
+    return j;
+  }
+  static Json Number(int64_t i) {
+    Json j = Number(static_cast<double>(i));
+    j.int_ = i;
+    j.is_int_ = true;
+    return j;
+  }
+  static Json Str(std::string s) {
+    Json j;
+    j.type_ = Type::kString;
+    j.string_ = std::move(s);
+    return j;
+  }
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+  /// Pre-rendered JSON spliced verbatim into the output (used to embed the
+  /// metrics registry's own JSON export without re-parsing it).
+  static Json Raw(std::string rendered) {
+    Json j;
+    j.type_ = Type::kString;
+    j.string_ = std::move(rendered);
+    j.raw_ = true;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString && !raw_; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+  /// True when the number was written without fraction/exponent and fits
+  /// int64 exactly — protocol fields like supports and ids require this.
+  bool is_int() const { return type_ == Type::kNumber && is_int_; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return number_; }
+  int64_t AsInt() const { return is_int_ ? int_ : static_cast<int64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+
+  // Array access.
+  const std::vector<Json>& items() const { return items_; }
+  void Append(Json v) { items_.push_back(std::move(v)); }
+
+  // Object access. Field order is preserved on output (insertion order) so
+  // golden tests can pin exact response bytes.
+  const std::vector<std::pair<std::string, Json>>& fields() const {
+    return fields_;
+  }
+  /// Pointer to the value for `key`, or nullptr when absent.
+  const Json* Get(const std::string& key) const {
+    for (const auto& [k, v] : fields_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  void Set(const std::string& key, Json v) {
+    for (auto& [k, existing] : fields_) {
+      if (k == key) {
+        existing = std::move(v);
+        return;
+      }
+    }
+    fields_.emplace_back(key, std::move(v));
+  }
+
+  /// Compact single-line rendering (no spaces), suitable for the
+  /// newline-delimited transport. Strings are escaped per RFC 8259;
+  /// non-finite numbers render as null.
+  std::string Dump() const;
+  void DumpTo(std::string* out) const;
+
+  /// Parses exactly one JSON value spanning the whole input (trailing
+  /// whitespace allowed, trailing garbage is an error). On failure the
+  /// status message contains the byte offset and what was expected.
+  static Status Parse(const std::string& text, Json* out);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  bool is_int_ = false;
+  bool raw_ = false;
+  double number_ = 0;
+  int64_t int_ = 0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> fields_;
+};
+
+/// Escapes `s` into a quoted JSON string literal appended to `out`.
+void AppendJsonString(const std::string& s, std::string* out);
+
+}  // namespace service
+}  // namespace partminer
+
+#endif  // PARTMINER_SERVICE_JSON_H_

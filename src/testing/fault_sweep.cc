@@ -2,12 +2,18 @@
 
 #include <sstream>
 
+#include <cstdio>
+
 #include "adi/adi_miner.h"
 #include "core/part_miner.h"
 #include "core/state_io.h"
 #include "common/random.h"
+#include "datagen/edit_stream.h"
 #include "datagen/generator.h"
 #include "miner/gspan.h"
+#include "service/daemon.h"
+#include "service/json.h"
+#include "service/session.h"
 #include "storage/fault_injector.h"
 
 namespace partminer {
@@ -203,6 +209,256 @@ FaultSweepOutcome RunStateIoFaultSweep(uint64_t seed) {
   if (out.successes == 0) {
     out.violations.push_back("untampered image failed to load");
   }
+  return out;
+}
+
+namespace {
+
+using service::Json;
+
+/// Drives one fault-armed daemon round through the scripted request
+/// sequence. Bookkeeping mirror: a local copy of the database accumulates
+/// exactly the acknowledged update batches, so the round can end by
+/// re-mining the mirror from scratch and demanding digest equality —
+/// proving no fault ever half-applied a batch.
+struct DaemonRound {
+  FaultSweepOutcome* out;
+  std::string label;
+  service::MinerSession* session;
+  service::Daemon* daemon;
+  GraphDatabase mirror;
+  bool injected_failures = false;
+  bool broken = false;
+
+  /// Sends one line; verifies the response is well-formed JSON that is a
+  /// success or a structured error. Returns the parsed response.
+  Json Send(const std::string& line, bool* ok_out) {
+    bool shutdown = false;
+    const std::string response = daemon->HandleLine(line, &shutdown);
+    Json parsed;
+    *ok_out = false;
+    if (!Json::Parse(response, &parsed).ok() ||
+        parsed.type() != Json::Type::kObject) {
+      out->violations.push_back(label + ": unparseable response: " +
+                                response.substr(0, 160));
+      broken = true;
+      return parsed;
+    }
+    const Json* ok = parsed.Get("ok");
+    if (ok == nullptr || ok->type() != Json::Type::kBool) {
+      out->violations.push_back(label + ": response without 'ok': " +
+                                response.substr(0, 160));
+      broken = true;
+      return parsed;
+    }
+    if (!ok->AsBool()) {
+      const Json* error = parsed.Get("error");
+      const Json* code = error ? error->Get("code") : nullptr;
+      const Json* message = error ? error->Get("message") : nullptr;
+      if (code == nullptr || !code->is_string() ||
+          code->AsString().empty() || message == nullptr ||
+          !message->is_string()) {
+        out->violations.push_back(label + ": error without code/message: " +
+                                  response.substr(0, 160));
+        broken = true;
+      }
+      return parsed;
+    }
+    *ok_out = true;
+    return parsed;
+  }
+
+  void Update(const std::vector<EditOp>& edits) {
+    std::string line = "{\"cmd\":\"update\",\"wait\":true,\"edits\":[";
+    for (size_t i = 0; i < edits.size(); ++i) {
+      if (i > 0) line.push_back(',');
+      line += service::EditToJson(edits[i]).Dump();
+    }
+    line += "]}";
+    bool ok = false;
+    Send(line, &ok);
+    if (ok) {
+      UpdateLog log;
+      ApplyEditBatch(&mirror, edits, &log);
+    } else {
+      injected_failures = true;
+    }
+  }
+
+  void Snapshot(const std::string& prefix) {
+    bool ok = false;
+    Send("{\"cmd\":\"snapshot\",\"path\":\"" + prefix + "\"}", &ok);
+    if (!ok) injected_failures = true;
+  }
+
+  /// The daemon must answer a ping after every fault — still serving.
+  void Ping() {
+    bool ok = false;
+    Send("{\"cmd\":\"ping\"}", &ok);
+    if (!ok) {
+      out->violations.push_back(label + ": ping failed after fault");
+      broken = true;
+    }
+  }
+};
+
+}  // namespace
+
+FaultSweepOutcome RunDaemonFaultSweep(uint64_t seed) {
+  FaultSweepOutcome out;
+
+  GeneratorParams gen;
+  gen.num_graphs = 40;
+  gen.num_labels = 6;
+  gen.avg_edges = 10;
+  gen.avg_kernel_edges = 3;
+  gen.num_kernels = 6;
+  gen.seed = seed * 0x9e3779b97f4a7c15ull + 23;
+  const GraphDatabase base = GenerateDatabase(gen);
+
+  service::SessionOptions session_options;
+  session_options.miner.min_support_count = 6;
+  session_options.miner.partition.k = 2;
+
+  EditStreamOptions stream;
+  stream.seed = seed + 3;
+  stream.requests = 5;
+  stream.update_fraction = 1.0;  // Updates only; queries close each round.
+  stream.edits_per_update = 3;
+  stream.resident_support = 6;
+  const std::vector<StreamItem> updates = GenerateEditStream(base, stream);
+
+  const std::string prefix =
+      "/tmp/pm_daemon_sweep." + std::to_string(seed);
+
+  const auto oracle_digest = [&](const GraphDatabase& db) {
+    PartMiner oracle(session_options.miner);
+    oracle.Mine(db);
+    return service::PatternSetDigest(oracle.verified());
+  };
+
+  const auto run_round = [&](FaultInjector* injector,
+                             const std::string& label) {
+    ++out.runs;
+    service::MinerSession session(session_options);
+    const Status init = session.Init(base);
+    if (!init.ok()) {
+      out.violations.push_back(label + ": init failed: " + init.ToString());
+      return;
+    }
+    session.set_fault_injector(injector);
+    service::DaemonOptions daemon_options;
+    service::Daemon daemon(&session, daemon_options);
+
+    DaemonRound round{&out, label, &session, &daemon, base};
+    for (const StreamItem& item : updates) {
+      round.Update(item.edits);
+      round.Ping();
+      if (round.broken) return;
+    }
+    round.Snapshot(prefix);
+    round.Ping();
+    if (round.broken) return;
+
+    // Recovery: detach the injector; the resident state must now snapshot
+    // cleanly and its digest must equal a from-scratch mine of exactly the
+    // acknowledged batches.
+    session.set_fault_injector(nullptr);
+    round.Snapshot(prefix);
+    bool ok = false;
+    const Json reply = round.Send("{\"cmd\":\"query\",\"limit\":0}", &ok);
+    if (!ok) {
+      out.violations.push_back(label + ": query failed after detach");
+      return;
+    }
+    const Json* result = reply.Get("result");
+    const Json* digest = result ? result->Get("digest") : nullptr;
+    if (digest == nullptr || !digest->is_string()) {
+      out.violations.push_back(label + ": query reply without digest");
+      return;
+    }
+    if (digest->AsString() != std::to_string(oracle_digest(round.mirror))) {
+      out.violations.push_back(
+          label + ": resident digest diverged from a from-scratch mine of "
+                  "the acknowledged batches");
+      return;
+    }
+    // And the snapshot pair written after detach must restore to the same
+    // digest in a brand-new session.
+    service::MinerSession restored(session_options);
+    const Status restore =
+        restored.InitFromSnapshot(prefix + ".db.lg", prefix + ".state");
+    if (!restore.ok()) {
+      out.violations.push_back(label + ": post-detach restore failed: " +
+                               restore.ToString());
+      return;
+    }
+    if (std::to_string(restored.digest()) != digest->AsString()) {
+      out.violations.push_back(label + ": restored digest diverged");
+      return;
+    }
+    if (round.injected_failures) {
+      ++out.clean_failures;
+    } else {
+      ++out.successes;
+    }
+  };
+
+  const FaultInjector::Op kResidentOps[] = {FaultInjector::Op::kAlloc,
+                                            FaultInjector::Op::kWrite};
+  for (const FaultInjector::Op op : kResidentOps) {
+    for (int n = 0; n < 4; ++n) {
+      FaultInjector injector(seed);
+      injector.FailOnce(op, n);
+      std::ostringstream label;
+      label << "daemon fail-once op=" << FaultInjector::OpName(op)
+            << " n=" << n;
+      run_round(&injector, label.str());
+    }
+    for (const double p : {0.05, 0.3}) {
+      FaultInjector injector(seed ^ static_cast<uint64_t>(p * 1e6));
+      injector.SetProbability(op, p);
+      std::ostringstream label;
+      label << "daemon p=" << p << " op=" << FaultInjector::OpName(op);
+      run_round(&injector, label.str());
+    }
+  }
+
+  // Restore grid: scripted read faults against InitFromSnapshot. A clean
+  // snapshot pair exists from the rounds above; every injected restore must
+  // fail cleanly, and a fault-free retry must come up with the saved state.
+  for (int n = 0; n < 3; ++n) {
+    ++out.runs;
+    FaultInjector injector(seed + n);
+    injector.FailOnce(FaultInjector::Op::kRead, n);
+    service::MinerSession session(session_options);
+    session.set_fault_injector(&injector);
+    const Status restore =
+        session.InitFromSnapshot(prefix + ".db.lg", prefix + ".state");
+    const std::string label =
+        "daemon restore fail-once n=" + std::to_string(n);
+    if (restore.ok()) {
+      // kRead faults beyond the consult count simply never fire.
+      ++out.successes;
+    } else {
+      ++out.clean_failures;
+      if (session.ready()) {
+        out.violations.push_back(label + ": failed restore left session "
+                                         "ready");
+        continue;
+      }
+    }
+    session.set_fault_injector(nullptr);
+    const Status retry =
+        session.InitFromSnapshot(prefix + ".db.lg", prefix + ".state");
+    if (!retry.ok()) {
+      out.violations.push_back(label + ": fault-free retry failed: " +
+                               retry.ToString());
+    }
+  }
+
+  std::remove((prefix + ".db.lg").c_str());
+  std::remove((prefix + ".state").c_str());
   return out;
 }
 

@@ -35,6 +35,17 @@ FaultSweepOutcome RunAdiFaultSweep(uint64_t seed);
 /// fail cleanly must restore exactly the saved verified result.
 FaultSweepOutcome RunStateIoFaultSweep(uint64_t seed);
 
+/// Sweeps the resident mining service: a daemon (session + protocol
+/// dispatcher, in-process) is driven through a scripted update / snapshot /
+/// query sequence while scripted and probabilistic faults hit the resident
+/// paths (batch admission, snapshot writes, snapshot restores). Every
+/// response must be a well-formed JSON line that is either a success or a
+/// structured error; the daemon must keep serving after every fault; and
+/// the final pattern-set digest must equal a from-scratch re-mine of
+/// exactly the batches that were acknowledged — a failed request may lose
+/// its own work but must never corrupt the resident state.
+FaultSweepOutcome RunDaemonFaultSweep(uint64_t seed);
+
 }  // namespace testing
 }  // namespace partminer
 

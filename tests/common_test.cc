@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "common/parse.h"
 #include "common/random.h"
 #include "common/setword.h"
 #include "common/status.h"
@@ -31,6 +32,51 @@ TEST(StatusTest, ReturnIfErrorMacroPropagates) {
     return Status::Ok();
   };
   EXPECT_EQ(wrapper().code(), Status::Code::kNotFound);
+}
+
+TEST(ParseTest, AcceptsWholeStringIntegers) {
+  int32_t i32 = -1;
+  EXPECT_TRUE(ParseInt32("0", &i32));
+  EXPECT_EQ(i32, 0);
+  EXPECT_TRUE(ParseInt32("-42", &i32));
+  EXPECT_EQ(i32, -42);
+  int64_t i64 = 0;
+  EXPECT_TRUE(ParseInt64("9223372036854775807", &i64));
+  EXPECT_EQ(i64, INT64_MAX);
+  uint64_t u64 = 0;
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &u64));
+  EXPECT_EQ(u64, UINT64_MAX);
+  double d = 0;
+  EXPECT_TRUE(ParseDouble("0.25", &d));
+  EXPECT_EQ(d, 0.25);
+  EXPECT_TRUE(ParseDouble("-3e2", &d));
+  EXPECT_EQ(d, -300.0);
+}
+
+TEST(ParseTest, RejectsGarbageAndLeavesOutputUntouched) {
+  // The CLI contract: "eight", "8abc", "", and overflow all refuse to
+  // parse, and the output keeps its prior value so defaults survive.
+  int32_t i32 = 123;
+  EXPECT_FALSE(ParseInt32("eight", &i32));
+  EXPECT_FALSE(ParseInt32("8abc", &i32));
+  EXPECT_FALSE(ParseInt32("", &i32));
+  EXPECT_FALSE(ParseInt32("  8", &i32));
+  EXPECT_FALSE(ParseInt32("2147483648", &i32));  // INT32_MAX + 1.
+  EXPECT_EQ(i32, 123);
+  int64_t i64 = 456;
+  EXPECT_FALSE(ParseInt64("9223372036854775808", &i64));  // INT64_MAX + 1.
+  EXPECT_FALSE(ParseInt64("1.5", &i64));
+  EXPECT_EQ(i64, 456);
+  uint64_t u64 = 789;
+  EXPECT_FALSE(ParseUint64("-1", &u64));
+  EXPECT_FALSE(ParseUint64("+1", &u64));
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &u64));
+  EXPECT_EQ(u64, 789);
+  double d = 2.5;
+  EXPECT_FALSE(ParseDouble("fast", &d));
+  EXPECT_FALSE(ParseDouble("1.5x", &d));
+  EXPECT_FALSE(ParseDouble("", &d));
+  EXPECT_EQ(d, 2.5);
 }
 
 TEST(RngTest, DeterministicPerSeed) {

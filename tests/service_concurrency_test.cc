@@ -1,0 +1,233 @@
+// Concurrency contract of the resident mining service: N client threads
+// hammer one daemon with interleaved updates and queries. Every query must
+// observe a consistent (epoch, digest) pair — exactly the pattern-set
+// digest the batcher recorded when it produced that epoch, never a torn
+// intermediate — epochs are monotone per connection, and queue-bound
+// rejections surface as structured `overloaded` errors, not dropped work.
+// The test is TSan-clean: all daemon/session state is lock-protected.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parse.h"
+#include "common/random.h"
+#include "datagen/edit_stream.h"
+#include "gtest/gtest.h"
+#include "service/daemon.h"
+#include "service/json.h"
+#include "service/session.h"
+#include "tests/test_util.h"
+
+namespace partminer {
+namespace service {
+namespace {
+
+SessionOptions MakeOptions() {
+  SessionOptions options;
+  options.miner.min_support_count = 3;
+  options.miner.partition.k = 2;
+  return options;
+}
+
+struct ThreadLog {
+  std::vector<std::pair<uint64_t, uint64_t>> observations;
+  int overloaded = 0;
+  int updates_acked = 0;
+  int failures = 0;
+  std::string first_failure;
+
+  void Fail(const std::string& what) {
+    ++failures;
+    if (first_failure.empty()) first_failure = what;
+  }
+};
+
+void DriveClient(Daemon* daemon, const std::vector<StreamItem>& items,
+                 size_t first, size_t stride, ThreadLog* log) {
+  uint64_t last_epoch = 0;
+  for (size_t i = first; i < items.size(); i += stride) {
+    const StreamItem& item = items[i];
+    std::string line;
+    if (item.is_update) {
+      line = "{\"id\":" + std::to_string(i) + ",\"cmd\":\"update\",\"edits\":[";
+      for (size_t j = 0; j < item.edits.size(); ++j) {
+        if (j > 0) line.push_back(',');
+        line += EditToJson(item.edits[j]).Dump();
+      }
+      line += "]}";
+    } else {
+      line = "{\"id\":" + std::to_string(i) +
+             ",\"cmd\":\"query\",\"support\":" +
+             std::to_string(item.query_support) + "}";
+    }
+    bool shutdown = false;
+    const std::string response = daemon->HandleLine(line, &shutdown);
+    Json parsed;
+    if (!Json::Parse(response, &parsed).ok()) {
+      log->Fail("unparseable: " + response);
+      continue;
+    }
+    const Json* id = parsed.Get("id");
+    if (id == nullptr || !id->is_int() ||
+        id->AsInt() != static_cast<int64_t>(i)) {
+      log->Fail("id mismatch: " + response);
+      continue;
+    }
+    const Json* ok = parsed.Get("ok");
+    if (ok != nullptr && ok->AsBool()) {
+      if (item.is_update) {
+        ++log->updates_acked;
+      } else {
+        const Json* result = parsed.Get("result");
+        const Json* epoch = result ? result->Get("epoch") : nullptr;
+        const Json* digest = result ? result->Get("digest") : nullptr;
+        uint64_t digest_value = 0;
+        if (epoch == nullptr || !epoch->is_int() || digest == nullptr ||
+            !digest->is_string() ||
+            !ParseUint64(digest->AsString(), &digest_value)) {
+          log->Fail("malformed query result: " + response);
+          continue;
+        }
+        const uint64_t e = static_cast<uint64_t>(epoch->AsInt());
+        if (e < last_epoch) {
+          log->Fail("epoch went backwards: " + response);
+        }
+        last_epoch = e;
+        log->observations.emplace_back(e, digest_value);
+      }
+    } else {
+      const Json* error = parsed.Get("error");
+      const Json* code = error ? error->Get("code") : nullptr;
+      if (item.is_update && code != nullptr && code->is_string() &&
+          code->AsString() == "overloaded") {
+        ++log->overloaded;  // Legitimate backpressure, reported not hidden.
+      } else {
+        log->Fail("unexpected error: " + response);
+      }
+    }
+  }
+}
+
+class ServiceConcurrencyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ServiceConcurrencyTest, ConsistentEpochDigestUnderLoad) {
+  const int clients = GetParam();
+  Rng rng(99000 + clients);
+  GraphDatabase db = testutil::RandomDatabase(&rng, /*graphs=*/20,
+                                              /*vertices=*/7,
+                                              /*extra_edges=*/2,
+                                              /*vertex_labels=*/3,
+                                              /*edge_labels=*/3);
+  MinerSession session(MakeOptions());
+  ASSERT_TRUE(session.Init(std::move(db)).ok());
+
+  EditStreamOptions stream;
+  stream.seed = 1234 + clients;
+  stream.requests = 60 * clients;
+  stream.update_fraction = 0.3;
+  stream.edits_per_update = 3;
+  stream.num_labels = 3;
+  stream.resident_support = session.resident_support();
+  GraphDatabase generator_view;  // GenerateEditStream needs the initial db.
+  {
+    Rng regen(99000 + clients);
+    generator_view = testutil::RandomDatabase(&regen, 20, 7, 2, 3, 3);
+  }
+  const std::vector<StreamItem> items =
+      GenerateEditStream(generator_view, stream);
+
+  // A small queue so the 8-thread round genuinely exercises backpressure.
+  DaemonOptions daemon_options;
+  daemon_options.queue_cap_edits = 24;
+  daemon_options.batch_max_edits = 8;
+  Daemon daemon(&session, daemon_options);
+
+  std::vector<ThreadLog> logs(clients);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back(DriveClient, &daemon, std::cref(items),
+                         static_cast<size_t>(c),
+                         static_cast<size_t>(clients), &logs[c]);
+  }
+  for (std::thread& t : threads) t.join();
+  daemon.WaitQueueDrained();
+
+  int total_observations = 0, total_overloaded = 0, total_acked = 0;
+  for (const ThreadLog& log : logs) {
+    EXPECT_EQ(log.failures, 0) << log.first_failure;
+    total_overloaded += log.overloaded;
+    total_acked += log.updates_acked;
+    for (const auto& [epoch, digest] : log.observations) {
+      ++total_observations;
+      // The ground truth: the digest the batcher recorded when it produced
+      // this epoch. A mismatch means a query saw a half-applied batch.
+      EXPECT_EQ(session.DigestAt(epoch), digest) << "epoch " << epoch;
+    }
+  }
+  EXPECT_GT(total_observations, 0);
+  // Every update was either acknowledged or rejected as overloaded.
+  int total_updates = 0;
+  for (const StreamItem& item : items) total_updates += item.is_update;
+  EXPECT_EQ(total_acked + total_overloaded, total_updates);
+  // After the drain, the live digest matches the last recorded epoch.
+  EXPECT_EQ(session.DigestAt(session.epoch()), session.digest());
+
+  ::testing::Test::RecordProperty("overloaded", total_overloaded);
+}
+
+INSTANTIATE_TEST_SUITE_P(Clients, ServiceConcurrencyTest,
+                         ::testing::Values(1, 2, 8));
+
+TEST(ServiceBackpressureTest, QueueBoundIsEnforced) {
+  Rng rng(424242);
+  GraphDatabase db = testutil::RandomDatabase(&rng, 12, 6, 2, 3, 3);
+  GraphDatabase view = db;
+  MinerSession session(MakeOptions());
+  ASSERT_TRUE(session.Init(std::move(db)).ok());
+
+  // Queue cap below one batch's worth: the first update fills the queue,
+  // later ones must see `overloaded` while the batcher is busy. Construct
+  // the race deterministically by flooding more edits than the cap.
+  DaemonOptions daemon_options;
+  daemon_options.queue_cap_edits = 6;
+  daemon_options.batch_max_edits = 2;
+  Daemon daemon(&session, daemon_options);
+
+  EditStreamOptions stream;
+  stream.seed = 5;
+  stream.requests = 30;
+  stream.update_fraction = 1.0;
+  stream.edits_per_update = 3;
+  stream.num_labels = 3;
+  stream.resident_support = session.resident_support();
+  const std::vector<StreamItem> items = GenerateEditStream(view, stream);
+
+  int overloaded = 0, acked = 0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    bool shutdown = false;
+    std::string line = "{\"cmd\":\"update\",\"edits\":[";
+    for (size_t j = 0; j < items[i].edits.size(); ++j) {
+      if (j > 0) line.push_back(',');
+      line += EditToJson(items[i].edits[j]).Dump();
+    }
+    line += "]}";
+    const std::string response = daemon.HandleLine(line, &shutdown);
+    if (response.find("\"overloaded\"") != std::string::npos) {
+      ++overloaded;
+    } else if (response.find("\"queued\":true") != std::string::npos) {
+      ++acked;
+      EXPECT_LE(daemon.queue_depth_edits(), daemon_options.queue_cap_edits);
+    } else {
+      ADD_FAILURE() << response;
+    }
+  }
+  EXPECT_EQ(acked + overloaded, static_cast<int>(items.size()));
+  daemon.WaitQueueDrained();
+  EXPECT_EQ(daemon.queue_depth_edits(), 0);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace partminer

@@ -1,0 +1,49 @@
+// Degrade-don't-die under injected storage faults: the daemon fault sweep
+// from src/testing drives a resident session through scripted and
+// probabilistic read/write/alloc failures and requires every request to be
+// either correct or a clean structured error — never a dead process, never
+// a divergent pattern set. This test pins the sweep into the tier-1 suite
+// so a regression in the Status plumbing fails fast, not only in run_fuzz.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "testing/fault_sweep.h"
+
+namespace partminer {
+namespace testing {
+namespace {
+
+std::string Describe(const FaultSweepOutcome& outcome) {
+  std::string text = std::to_string(outcome.runs) + " runs, " +
+                     std::to_string(outcome.clean_failures) +
+                     " clean failures, " + std::to_string(outcome.successes) +
+                     " correct";
+  for (const std::string& violation : outcome.violations) {
+    text += "\n  violation: " + violation;
+  }
+  return text;
+}
+
+TEST(ServiceFaultSweepTest, ResidentDaemonSurvivesFaultGrid) {
+  const FaultSweepOutcome outcome = RunDaemonFaultSweep(20260808);
+  EXPECT_TRUE(outcome.ok()) << Describe(outcome);
+  EXPECT_GT(outcome.runs, 0);
+  // The grid must actually exercise both halves of the contract: some runs
+  // fail cleanly (fault hit a consult point), some complete correctly.
+  EXPECT_GT(outcome.clean_failures, 0) << Describe(outcome);
+  EXPECT_GT(outcome.successes, 0) << Describe(outcome);
+}
+
+TEST(ServiceFaultSweepTest, SweepIsDeterministicPerSeed) {
+  const FaultSweepOutcome a = RunDaemonFaultSweep(7);
+  const FaultSweepOutcome b = RunDaemonFaultSweep(7);
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.clean_failures, b.clean_failures);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.violations.size(), b.violations.size());
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace partminer

@@ -1,0 +1,215 @@
+// Crash/restart recovery for the resident mining service: a session that
+// applies updates, snapshots, dies, and is restored from the snapshot must
+// continue to a pattern set bit-identical to an uninterrupted session — and
+// both must agree with a from-scratch re-mine of the final database.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "common/random.h"
+#include "core/part_miner.h"
+#include "datagen/edit_stream.h"
+#include "gtest/gtest.h"
+#include "service/session.h"
+#include "storage/fault_injector.h"
+#include "tests/test_util.h"
+
+namespace partminer {
+namespace service {
+namespace {
+
+SessionOptions MakeOptions() {
+  SessionOptions options;
+  options.miner.min_support_count = 3;
+  options.miner.partition.k = 2;
+  return options;
+}
+
+std::string TempPrefix(const char* tag) {
+  return "/tmp/pm_service_recovery_" + std::string(tag) + "_" +
+         std::to_string(::getpid());
+}
+
+void RemoveSnapshot(const std::string& prefix) {
+  std::remove((prefix + ".db.lg").c_str());
+  std::remove((prefix + ".state").c_str());
+}
+
+/// Exact pattern-set equality: codes, supports, and TID sets.
+void ExpectSamePatterns(const PatternSet& expected, const PatternSet& actual,
+                        const char* what) {
+  ASSERT_EQ(expected.size(), actual.size()) << what;
+  for (const PatternInfo& p : expected.patterns()) {
+    const PatternInfo* q = actual.Find(p.code);
+    ASSERT_NE(q, nullptr) << what << ": missing " << p.code.ToString();
+    EXPECT_EQ(q->support, p.support) << what << ": " << p.code.ToString();
+    EXPECT_TRUE(q->tids == p.tids) << what << ": " << p.code.ToString();
+  }
+}
+
+class ServiceRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(20260808);
+    db_ = testutil::RandomDatabase(&rng, /*graphs=*/24, /*vertices=*/8,
+                                   /*extra_edges=*/3, /*vertex_labels=*/4,
+                                   /*edge_labels=*/3);
+    EditStreamOptions stream;
+    stream.seed = 7;
+    stream.requests = 4;
+    stream.update_fraction = 1.0;
+    stream.edits_per_update = 5;
+    stream.num_labels = 4;
+    stream.resident_support = 3;
+    batches_.clear();
+    for (const StreamItem& item : GenerateEditStream(db_, stream)) {
+      batches_.push_back(item.edits);
+    }
+    ASSERT_EQ(batches_.size(), 4u);
+  }
+
+  GraphDatabase db_;
+  std::vector<std::vector<EditOp>> batches_;
+};
+
+TEST_F(ServiceRecoveryTest, RestoredSessionMatchesUninterruptedRun) {
+  // Uninterrupted reference: all four batches in one session.
+  MinerSession uninterrupted(MakeOptions());
+  ASSERT_TRUE(uninterrupted.Init(db_).ok());
+  for (const auto& batch : batches_) {
+    BatchResult result;
+    ASSERT_TRUE(uninterrupted.ApplyBatch(batch, &result).ok());
+    EXPECT_EQ(result.rejected, 0) << result.first_rejection;
+  }
+  const uint64_t expected_digest = uninterrupted.digest();
+
+  // Interrupted run: two batches, snapshot, session destroyed ("crash"),
+  // restore, remaining two batches.
+  const std::string prefix = TempPrefix("mid");
+  {
+    MinerSession doomed(MakeOptions());
+    ASSERT_TRUE(doomed.Init(db_).ok());
+    BatchResult result;
+    ASSERT_TRUE(doomed.ApplyBatch(batches_[0], &result).ok());
+    ASSERT_TRUE(doomed.ApplyBatch(batches_[1], &result).ok());
+    SnapshotResult snapshot;
+    ASSERT_TRUE(doomed.Snapshot(prefix, &snapshot).ok());
+    EXPECT_EQ(snapshot.epoch, doomed.epoch());
+  }  // ~MinerSession: the crash.
+
+  MinerSession restored(MakeOptions());
+  ASSERT_TRUE(
+      restored.InitFromSnapshot(prefix + ".db.lg", prefix + ".state").ok());
+  // Epochs are session-local and restart at zero; the digest is what
+  // carries identity across the restart.
+  EXPECT_EQ(restored.epoch(), 0u);
+  for (size_t i = 2; i < batches_.size(); ++i) {
+    BatchResult result;
+    ASSERT_TRUE(restored.ApplyBatch(batches_[i], &result).ok());
+    EXPECT_EQ(result.rejected, 0) << result.first_rejection;
+  }
+
+  EXPECT_EQ(restored.digest(), expected_digest);
+  ExpectSamePatterns(uninterrupted.VerifiedPatterns(),
+                     restored.VerifiedPatterns(), "restored vs uninterrupted");
+
+  // Both must equal a from-scratch mine of the final database (the
+  // incremental path and the restart path may not drift from the oracle).
+  GraphDatabase replayed = db_;
+  for (const auto& batch : batches_) {
+    UpdateLog log;
+    const EditBatchOutcome outcome = ApplyEditBatch(&replayed, batch, &log);
+    ASSERT_EQ(outcome.rejected, 0) << outcome.first_rejection;
+  }
+  PartMiner oracle(MakeOptions().miner);
+  oracle.Mine(replayed);
+  ExpectSamePatterns(oracle.verified(), restored.VerifiedPatterns(),
+                     "restored vs from-scratch oracle");
+  EXPECT_EQ(PatternSetDigest(oracle.verified()), expected_digest);
+  RemoveSnapshot(prefix);
+}
+
+TEST_F(ServiceRecoveryTest, SnapshotAfterEveryBatchRestoresEveryEpoch) {
+  // Restoring any intermediate snapshot and replaying the tail converges to
+  // the same final digest, no matter where the "crash" landed.
+  MinerSession reference(MakeOptions());
+  ASSERT_TRUE(reference.Init(db_).ok());
+  std::vector<std::string> prefixes;
+  for (size_t i = 0; i < batches_.size(); ++i) {
+    BatchResult result;
+    ASSERT_TRUE(reference.ApplyBatch(batches_[i], &result).ok());
+    const std::string prefix = TempPrefix(("e" + std::to_string(i)).c_str());
+    SnapshotResult snapshot;
+    ASSERT_TRUE(reference.Snapshot(prefix, &snapshot).ok());
+    prefixes.push_back(prefix);
+  }
+  for (size_t crash = 0; crash < prefixes.size(); ++crash) {
+    MinerSession restored(MakeOptions());
+    ASSERT_TRUE(restored
+                    .InitFromSnapshot(prefixes[crash] + ".db.lg",
+                                      prefixes[crash] + ".state")
+                    .ok());
+    for (size_t i = crash + 1; i < batches_.size(); ++i) {
+      BatchResult result;
+      ASSERT_TRUE(restored.ApplyBatch(batches_[i], &result).ok());
+    }
+    EXPECT_EQ(restored.digest(), reference.digest())
+        << "crash after batch " << crash;
+  }
+  for (const std::string& prefix : prefixes) RemoveSnapshot(prefix);
+}
+
+TEST_F(ServiceRecoveryTest, FailedRestoreLeavesSessionUnready) {
+  const std::string prefix = TempPrefix("bad");
+  {
+    MinerSession session(MakeOptions());
+    ASSERT_TRUE(session.Init(db_).ok());
+    SnapshotResult snapshot;
+    ASSERT_TRUE(session.Snapshot(prefix, &snapshot).ok());
+  }
+  // Truncate the state file: the checksummed load must fail cleanly and the
+  // half-restored session must refuse to serve.
+  {
+    FILE* f = std::fopen((prefix + ".state").c_str(), "r+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(::ftruncate(::fileno(f), 64), 0);
+    std::fclose(f);
+  }
+  MinerSession broken(MakeOptions());
+  const Status restore =
+      broken.InitFromSnapshot(prefix + ".db.lg", prefix + ".state");
+  EXPECT_FALSE(restore.ok());
+  EXPECT_FALSE(broken.ready());
+  QueryReply reply;
+  EXPECT_FALSE(broken.Query({}, &reply).ok());
+  RemoveSnapshot(prefix);
+}
+
+TEST_F(ServiceRecoveryTest, InjectedReadFaultFailsRestoreThenRetryWorks) {
+  const std::string prefix = TempPrefix("fault");
+  {
+    MinerSession session(MakeOptions());
+    ASSERT_TRUE(session.Init(db_).ok());
+    SnapshotResult snapshot;
+    ASSERT_TRUE(session.Snapshot(prefix, &snapshot).ok());
+  }
+  FaultInjector injector(1);
+  injector.FailOnce(FaultInjector::Op::kRead, 0);
+  MinerSession session(MakeOptions());
+  session.set_fault_injector(&injector);
+  EXPECT_FALSE(
+      session.InitFromSnapshot(prefix + ".db.lg", prefix + ".state").ok());
+  EXPECT_FALSE(session.ready());
+  // The scripted fault is consumed; the retry restores the same state.
+  EXPECT_TRUE(
+      session.InitFromSnapshot(prefix + ".db.lg", prefix + ".state").ok());
+  EXPECT_TRUE(session.ready());
+  RemoveSnapshot(prefix);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace partminer

@@ -29,6 +29,7 @@
 
 #include "adi/adi_index.h"
 #include "adi/adi_miner.h"
+#include "common/parse.h"
 #include "common/thread_pool.h"
 #include "common/timing.h"
 #include "core/part_miner.h"
@@ -70,6 +71,34 @@ std::string Get(const std::map<std::string, std::string>& flags,
                 const std::string& key, const std::string& fallback) {
   const auto it = flags.find(key);
   return it == flags.end() ? fallback : it->second;
+}
+
+/// Strictly-parsed numeric flags: --threads=eight (or =8abc) is a usage
+/// error instead of silently becoming 0 the way std::atoi made it.
+int IntFlag(const std::map<std::string, std::string>& flags,
+            const std::string& key, int fallback) {
+  const std::string raw = Get(flags, key, "");
+  if (raw.empty()) return fallback;
+  int value = 0;
+  if (!ParseInt32(raw, &value)) {
+    std::fprintf(stderr, "error: --%s=%s is not an integer\n", key.c_str(),
+                 raw.c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
+double DoubleFlag(const std::map<std::string, std::string>& flags,
+                  const std::string& key, double fallback) {
+  const std::string raw = Get(flags, key, "");
+  if (raw.empty()) return fallback;
+  double value = 0;
+  if (!ParseDouble(raw, &value)) {
+    std::fprintf(stderr, "error: --%s=%s is not a number\n", key.c_str(),
+                 raw.c_str());
+    std::exit(2);
+  }
+  return value;
 }
 
 /// Warns (stderr) about every parsed flag not in `known`, so a typo like
@@ -166,7 +195,7 @@ int Mine(const std::map<std::string, std::string>& flags) {
     return 1;
   }
 
-  const double support = std::atof(Get(flags, "support", "0.05").c_str());
+  const double support = DoubleFlag(flags, "support", 0.05);
   if (support <= 0.0) {
     std::fprintf(stderr, "error: --support must be positive (got %s)\n",
                  Get(flags, "support", "0.05").c_str());
@@ -176,7 +205,7 @@ int Mine(const std::map<std::string, std::string>& flags) {
       support >= 1.0
           ? static_cast<int>(support)
           : std::max(1, static_cast<int>(std::ceil(support * db.size())));
-  const int max_edges = std::atoi(Get(flags, "max-edges", "0").c_str());
+  const int max_edges = IntFlag(flags, "max-edges", 0);
   const std::string algo = Get(flags, "algo", "partminer");
 
   // Support-counting fast-path escape hatches. Mined output is bit-identical
@@ -199,7 +228,7 @@ int Mine(const std::map<std::string, std::string>& flags) {
     if (max_edges > 0) options.max_edges = max_edges;
     // --threads=N parallelizes the search tree on a work-stealing pool;
     // output is bit-identical to the serial traversal.
-    const int threads = std::atoi(Get(flags, "threads", "0").c_str());
+    const int threads = IntFlag(flags, "threads", 0);
     std::unique_ptr<ThreadPool> pool;
     if (threads > 0) {
       pool = std::make_unique<ThreadPool>(threads);
@@ -215,8 +244,8 @@ int Mine(const std::map<std::string, std::string>& flags) {
   } else if (algo == "partminer") {
     PartMinerOptions options;
     options.min_support_count = support_count;
-    options.partition.k = std::max(1, std::atoi(Get(flags, "k", "2").c_str()));
-    options.unit_mining_threads = std::atoi(Get(flags, "threads", "0").c_str());
+    options.partition.k = std::max(1, IntFlag(flags, "k", 2));
+    options.unit_mining_threads = IntFlag(flags, "threads", 0);
     if (max_edges > 0) options.max_edges = max_edges;
     const std::string criteria = Get(flags, "criteria", "combined");
     if (criteria == "mincut") {
@@ -232,7 +261,7 @@ int Mine(const std::map<std::string, std::string>& flags) {
     patterns = miner.Mine(db).patterns;
   } else if (algo == "adi") {
     AdiMineOptions adi_options;
-    const int frames = std::atoi(Get(flags, "frames", "0").c_str());
+    const int frames = IntFlag(flags, "frames", 0);
     if (frames > 0) adi_options.buffer_frames = frames;
     AdiMine miner(adi_options);
     status = miner.BuildIndex(db);
@@ -295,12 +324,19 @@ int Mine(const std::map<std::string, std::string>& flags) {
 int Gen(const std::map<std::string, std::string>& flags) {
   WarnUnknownFlags(flags, {"output", "d", "t", "n", "l", "i", "seed"});
   GeneratorParams params;
-  params.num_graphs = std::atoi(Get(flags, "d", "500").c_str());
-  params.avg_edges = std::atoi(Get(flags, "t", "20").c_str());
-  params.num_labels = std::atoi(Get(flags, "n", "20").c_str());
-  params.num_kernels = std::atoi(Get(flags, "l", "50").c_str());
-  params.avg_kernel_edges = std::atoi(Get(flags, "i", "5").c_str());
-  params.seed = std::atoll(Get(flags, "seed", "1").c_str());
+  params.num_graphs = IntFlag(flags, "d", 500);
+  params.avg_edges = IntFlag(flags, "t", 20);
+  params.num_labels = IntFlag(flags, "n", 20);
+  params.num_kernels = IntFlag(flags, "l", 50);
+  params.avg_kernel_edges = IntFlag(flags, "i", 5);
+  int64_t gen_seed = 1;
+  const std::string seed_raw = Get(flags, "seed", "1");
+  if (!ParseInt64(seed_raw, &gen_seed)) {
+    std::fprintf(stderr, "error: --seed=%s is not an integer\n",
+                 seed_raw.c_str());
+    return Usage();
+  }
+  params.seed = static_cast<uint64_t>(gen_seed);
   const GraphDatabase db = GenerateDatabase(params);
 
   const std::string output = Get(flags, "output", "");

@@ -141,8 +141,18 @@ int Run(int argc, char** argv) {
     for (const std::string& v : state.violations) {
       std::fprintf(stderr, "VIOLATION (state_io): %s\n", v.c_str());
     }
+    const FaultSweepOutcome daemon = testing::RunDaemonFaultSweep(start + 3);
+    std::printf(
+        "daemon fault sweep: %d runs, %d clean failures, %d correct, "
+        "%zu violations\n",
+        daemon.runs, daemon.clean_failures, daemon.successes,
+        daemon.violations.size());
+    for (const std::string& v : daemon.violations) {
+      std::fprintf(stderr, "VIOLATION (daemon): %s\n", v.c_str());
+    }
     fault_violations = static_cast<int>(adi.violations.size()) +
-                       static_cast<int>(state.violations.size());
+                       static_cast<int>(state.violations.size()) +
+                       static_cast<int>(daemon.violations.size());
   }
 
   return (divergences == 0 && replay_divergences == 0 &&

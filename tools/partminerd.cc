@@ -1,0 +1,253 @@
+// partminerd — long-lived partition-mining service daemon.
+//
+//   partminerd --input=db.lg [--support=0.05] [--k=4] [--threads=N]
+//              (--socket=/path/daemon.sock | --stdio)
+//              [--queue-cap=4096] [--batch-max=256]
+//              [--snapshot-prefix=/path/snap] [--num-labels=20]
+//              [--metrics=metrics.json]
+//              [--fault-read=SPEC] [--fault-write=SPEC] [--fault-alloc=SPEC]
+//              [--fault-seed=S]
+//   partminerd --restore=/path/snap (--socket=... | --stdio) [...]
+//
+// Loads the database, partitions and mines it once, then keeps the
+// IncPartMiner state resident and serves the newline-delimited JSON
+// protocol of DESIGN.md section 12: `update` (batched edits, bounded queue
+// with overload rejection), `query` (frequent-pattern retrieval /
+// containment), `snapshot` (state_io v2 checkpoint), `metrics`, `sync`,
+// `ping`, `shutdown`. --restore resumes from a `snapshot` pair instead of
+// re-mining from scratch.
+//
+// Fault SPECs (testing): once:N (fail the (N+1)-th op), n:START:COUNT, or
+// p:PROB — scripted/probabilistic storage faults on the resident snapshot
+// and admission paths; see DESIGN.md section 12.5.
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/parse.h"
+#include "core/part_miner.h"
+#include "graph/graph_io.h"
+#include "obs/metrics.h"
+#include "service/daemon.h"
+#include "service/session.h"
+#include "storage/fault_injector.h"
+
+namespace {
+
+using namespace partminer;
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "warning: ignoring stray argument '%s'\n",
+                   arg.c_str());
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags[arg] = "1";
+    } else {
+      flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+std::string Get(const std::map<std::string, std::string>& flags,
+                const std::string& key, const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: partminerd (--input=db.lg | --restore=prefix) "
+      "(--socket=path | --stdio) [--support=0.05] [--k=2] [--threads=N] "
+      "[--queue-cap=4096] [--batch-max=256] [--snapshot-prefix=path] "
+      "[--num-labels=20] [--metrics=out.json] "
+      "[--fault-read|--fault-write|--fault-alloc=once:N|n:S:C|p:P] "
+      "[--fault-seed=S]\n");
+  return 2;
+}
+
+/// Validated numeric flag: exits with a usage error on garbage like
+/// --threads=eight instead of silently mining with the default.
+bool IntFlag(const std::map<std::string, std::string>& flags,
+             const std::string& key, int fallback, int* out) {
+  const std::string raw = Get(flags, key, "");
+  if (raw.empty()) {
+    *out = fallback;
+    return true;
+  }
+  if (!ParseInt32(raw, out)) {
+    std::fprintf(stderr, "error: --%s=%s is not an integer\n", key.c_str(),
+                 raw.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool ArmFault(FaultInjector* injector, FaultInjector::Op op,
+              const std::string& spec_name, const std::string& spec) {
+  if (spec.empty()) return true;
+  const auto fail = [&]() {
+    std::fprintf(stderr,
+                 "error: --%s=%s (want once:N, n:START:COUNT, or p:PROB)\n",
+                 spec_name.c_str(), spec.c_str());
+    return false;
+  };
+  if (spec.rfind("once:", 0) == 0) {
+    int after = 0;
+    if (!ParseInt32(spec.substr(5), &after) || after < 0) return fail();
+    injector->FailOnce(op, after);
+    return true;
+  }
+  if (spec.rfind("n:", 0) == 0) {
+    const size_t second = spec.find(':', 2);
+    if (second == std::string::npos) return fail();
+    int start = 0, count = 0;
+    if (!ParseInt32(spec.substr(2, second - 2), &start) ||
+        !ParseInt32(spec.substr(second + 1), &count) || start < 0 ||
+        count <= 0) {
+      return fail();
+    }
+    injector->FailN(op, start, count);
+    return true;
+  }
+  if (spec.rfind("p:", 0) == 0) {
+    double p = 0;
+    if (!ParseDouble(spec.substr(2), &p) || p < 0 || p > 1) return fail();
+    injector->SetProbability(op, p);
+    return true;
+  }
+  return fail();
+}
+
+int Main(int argc, char** argv) {
+  const auto flags = ParseFlags(argc, argv);
+  for (const auto& [key, value] : flags) {
+    (void)value;
+    static const char* known[] = {
+        "input",      "restore",   "socket",          "stdio",
+        "support",    "k",         "threads",         "queue-cap",
+        "batch-max",  "snapshot-prefix", "num-labels", "metrics",
+        "fault-read", "fault-write", "fault-alloc",   "fault-seed"};
+    bool recognized = false;
+    for (const char* k : known) recognized = recognized || key == k;
+    if (!recognized) {
+      std::fprintf(stderr, "warning: unrecognized flag --%s (ignored)\n",
+                   key.c_str());
+    }
+  }
+
+  const std::string input = Get(flags, "input", "");
+  const std::string restore = Get(flags, "restore", "");
+  const std::string socket_path = Get(flags, "socket", "");
+  const bool stdio = flags.count("stdio") > 0;
+  if ((input.empty() == restore.empty()) ||
+      (socket_path.empty() && !stdio)) {
+    return Usage();
+  }
+
+  int k = 2, threads = 0, queue_cap = 4096, batch_max = 256, num_labels = 20;
+  int fault_seed = 1;
+  if (!IntFlag(flags, "k", 2, &k) || !IntFlag(flags, "threads", 0, &threads) ||
+      !IntFlag(flags, "queue-cap", 4096, &queue_cap) ||
+      !IntFlag(flags, "batch-max", 256, &batch_max) ||
+      !IntFlag(flags, "num-labels", 20, &num_labels) ||
+      !IntFlag(flags, "fault-seed", 1, &fault_seed)) {
+    return Usage();
+  }
+  const std::string support_raw = Get(flags, "support", "0.05");
+  double support = 0;
+  if (!ParseDouble(support_raw, &support) || support <= 0) {
+    std::fprintf(stderr, "error: --support=%s must be a positive number\n",
+                 support_raw.c_str());
+    return Usage();
+  }
+
+  service::SessionOptions session_options;
+  session_options.num_labels = num_labels;
+  session_options.miner.partition.k = std::max(1, k);
+  session_options.miner.unit_mining_threads = std::max(0, threads);
+  if (support >= 1.0) {
+    session_options.miner.min_support_count = static_cast<int>(support);
+  } else {
+    session_options.miner.min_support_fraction = support;
+    session_options.miner.min_support_count = -1;
+  }
+
+  service::MinerSession session(session_options);
+  FaultInjector injector(static_cast<uint64_t>(fault_seed));
+  const bool faults =
+      flags.count("fault-read") + flags.count("fault-write") +
+          flags.count("fault-alloc") >
+      0;
+  if (faults) {
+    if (!ArmFault(&injector, FaultInjector::Op::kRead, "fault-read",
+                  Get(flags, "fault-read", "")) ||
+        !ArmFault(&injector, FaultInjector::Op::kWrite, "fault-write",
+                  Get(flags, "fault-write", "")) ||
+        !ArmFault(&injector, FaultInjector::Op::kAlloc, "fault-alloc",
+                  Get(flags, "fault-alloc", ""))) {
+      return Usage();
+    }
+    session.set_fault_injector(&injector);
+  }
+
+  Status status;
+  if (!restore.empty()) {
+    status = session.InitFromSnapshot(restore + ".db.lg", restore + ".state");
+  } else {
+    GraphDatabase db;
+    status = ReadGraphDatabaseFile(input, &db);
+    if (status.ok()) status = session.Init(std::move(db));
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "partminerd: resident (%d graphs, support %d, %d patterns, "
+               "k=%d, threads=%d)\n",
+               session.graph_count(), session.resident_support(),
+               session.pattern_count(), k, threads);
+
+  service::DaemonOptions daemon_options;
+  daemon_options.queue_cap_edits = queue_cap;
+  daemon_options.batch_max_edits = batch_max;
+  daemon_options.snapshot_prefix = Get(flags, "snapshot-prefix", "");
+  service::Daemon daemon(&session, daemon_options);
+
+  if (stdio) {
+    daemon.ServeStream(std::cin, std::cout);
+  } else {
+    std::fprintf(stderr, "partminerd: listening on %s\n",
+                 socket_path.c_str());
+    status = daemon.ServeUnixSocket(socket_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  const std::string metrics_path = Get(flags, "metrics", "");
+  if (!metrics_path.empty() &&
+      !obs::MetricRegistry::Global().WriteJsonFile(metrics_path)) {
+    return 1;
+  }
+  std::fprintf(stderr, "partminerd: bye (epoch %llu)\n",
+               static_cast<unsigned long long>(session.epoch()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Main(argc, argv); }
