@@ -1,0 +1,216 @@
+#include "obs/flight_recorder.h"
+
+#include <unistd.h>
+
+#include <cstring>
+
+namespace partminer {
+namespace obs {
+
+namespace {
+
+/// Fixed-capacity append buffer flushed to an fd with write(2). Everything
+/// here is async-signal-safe: no allocation, no locks, no stdio, and the
+/// only syscall is write.
+class FdWriter {
+ public:
+  explicit FdWriter(int fd) : fd_(fd) {}
+  ~FdWriter() { Flush(); }
+
+  void Append(const char* data, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      if (used_ == sizeof(buffer_)) Flush();
+      buffer_[used_++] = data[i];
+    }
+  }
+  void Append(const char* text) { Append(text, std::strlen(text)); }
+  void AppendInt(int64_t v) {
+    char digits[24];
+    size_t n = 0;
+    uint64_t magnitude =
+        v < 0 ? ~static_cast<uint64_t>(v) + 1 : static_cast<uint64_t>(v);
+    do {
+      digits[n++] = static_cast<char>('0' + magnitude % 10);
+      magnitude /= 10;
+    } while (magnitude != 0);
+    if (v < 0) Append("-", 1);
+    while (n > 0) Append(&digits[--n], 1);
+  }
+
+  void Flush() {
+    size_t written = 0;
+    while (written < used_) {
+      const ssize_t n = ::write(fd_, buffer_ + written, used_ - written);
+      if (n <= 0) break;  // Nothing sane to do from a signal handler.
+      written += static_cast<size_t>(n);
+    }
+    used_ = 0;
+  }
+
+ private:
+  int fd_;
+  char buffer_[1024];
+  size_t used_ = 0;
+};
+
+}  // namespace
+
+const char* FlightEventTypeName(FlightEventType type) {
+  switch (type) {
+    case FlightEventType::kRequestAdmitted: return "request_admitted";
+    case FlightEventType::kRequestRejected: return "request_rejected";
+    case FlightEventType::kBatchApplied: return "batch_applied";
+    case FlightEventType::kBatchFailed: return "batch_failed";
+    case FlightEventType::kFaultInjected: return "fault_injected";
+    case FlightEventType::kSnapshotWritten: return "snapshot_written";
+    case FlightEventType::kSnapshotFailed: return "snapshot_failed";
+    case FlightEventType::kQueueHighWater: return "queue_high_water";
+    case FlightEventType::kSlowRequest: return "slow_request";
+    case FlightEventType::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder()
+    : epoch_(std::chrono::steady_clock::now()) {}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* const recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::Record(FlightEventType type, int64_t a, int64_t b,
+                            int64_t c, const char* detail) {
+  const uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq % kCapacity];
+  // Invalidate first so readers mid-decode see the seq change and discard.
+  slot.ready.store(0, std::memory_order_release);
+  slot.ts_us.store(std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - epoch_)
+                       .count(),
+                   std::memory_order_relaxed);
+  slot.type.store(static_cast<int32_t>(type), std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  slot.c.store(c, std::memory_order_relaxed);
+  // Pack the detail text into words, truncated and sanitized to printable
+  // ASCII minus '"' and '\\' so dumps can splice it without escaping.
+  char packed[kDetailBytes] = {0};
+  for (size_t i = 0; detail[i] != '\0' && i < kDetailBytes - 1; ++i) {
+    const unsigned char ch = static_cast<unsigned char>(detail[i]);
+    packed[i] = (ch < 0x20 || ch > 0x7e || ch == '"' || ch == '\\') ? ' '
+                                                                    : detail[i];
+  }
+  for (size_t w = 0; w < kDetailWords; ++w) {
+    uint64_t word = 0;
+    std::memcpy(&word, packed + w * 8, 8);
+    slot.detail[w].store(word, std::memory_order_relaxed);
+  }
+  slot.ready.store(seq + 1, std::memory_order_release);
+}
+
+bool FlightRecorder::ReadSlot(size_t index, uint64_t seq,
+                              RawEvent* out) const {
+  const Slot& slot = slots_[index];
+  if (slot.ready.load(std::memory_order_acquire) != seq + 1) return false;
+  out->seq = seq;
+  out->ts_us = slot.ts_us.load(std::memory_order_relaxed);
+  out->type = slot.type.load(std::memory_order_relaxed);
+  out->a = slot.a.load(std::memory_order_relaxed);
+  out->b = slot.b.load(std::memory_order_relaxed);
+  out->c = slot.c.load(std::memory_order_relaxed);
+  for (size_t w = 0; w < kDetailWords; ++w) {
+    const uint64_t word = slot.detail[w].load(std::memory_order_relaxed);
+    std::memcpy(out->detail + w * 8, &word, 8);
+  }
+  out->detail[kDetailBytes - 1] = '\0';
+  // Re-check after decoding: a concurrent rewrite tears the payload.
+  return slot.ready.load(std::memory_order_acquire) == seq + 1;
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  const uint64_t total = head_.load(std::memory_order_acquire);
+  const uint64_t first = total > kCapacity ? total - kCapacity : 0;
+  std::vector<FlightEvent> events;
+  events.reserve(static_cast<size_t>(total - first));
+  for (uint64_t seq = first; seq < total; ++seq) {
+    RawEvent raw;
+    if (!ReadSlot(seq % kCapacity, seq, &raw)) continue;
+    FlightEvent event;
+    event.seq = raw.seq;
+    event.ts_us = raw.ts_us;
+    event.type = static_cast<FlightEventType>(raw.type);
+    event.a = raw.a;
+    event.b = raw.b;
+    event.c = raw.c;
+    event.detail.assign(raw.detail);
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+std::string FlightRecorder::ToJson() const {
+  const std::vector<FlightEvent> events = Snapshot();
+  std::string out = "{\"events\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    out += i == 0 ? "{" : ",{";
+    out += "\"seq\":" + std::to_string(events[i].seq);
+    out += ",\"ts_us\":" + std::to_string(events[i].ts_us);
+    out += std::string(",\"type\":\"") + FlightEventTypeName(events[i].type) +
+           "\"";
+    out += ",\"a\":" + std::to_string(events[i].a);
+    out += ",\"b\":" + std::to_string(events[i].b);
+    out += ",\"c\":" + std::to_string(events[i].c);
+    if (!events[i].detail.empty()) {
+      out += ",\"detail\":\"" + events[i].detail + "\"";
+    }
+    out += "}";
+  }
+  out += "],\"dropped\":" + std::to_string(dropped()) + "}";
+  return out;
+}
+
+void FlightRecorder::DumpToFd(int fd) const {
+  FdWriter out(fd);
+  const uint64_t total = head_.load(std::memory_order_acquire);
+  const uint64_t first = total > kCapacity ? total - kCapacity : 0;
+  out.Append("{\"events\":[");
+  bool any = false;
+  for (uint64_t seq = first; seq < total; ++seq) {
+    RawEvent event;
+    if (!ReadSlot(seq % kCapacity, seq, &event)) continue;
+    if (any) out.Append(",");
+    any = true;
+    out.Append("{\"seq\":");
+    out.AppendInt(static_cast<int64_t>(event.seq));
+    out.Append(",\"ts_us\":");
+    out.AppendInt(event.ts_us);
+    out.Append(",\"type\":\"");
+    out.Append(FlightEventTypeName(static_cast<FlightEventType>(event.type)));
+    out.Append("\",\"a\":");
+    out.AppendInt(event.a);
+    out.Append(",\"b\":");
+    out.AppendInt(event.b);
+    out.Append(",\"c\":");
+    out.AppendInt(event.c);
+    if (event.detail[0] != '\0') {
+      out.Append(",\"detail\":\"");
+      out.Append(event.detail);  // Sanitized at Record(): no escaping needed.
+      out.Append("\"");
+    }
+    out.Append("}");
+  }
+  out.Append("],\"dropped\":");
+  out.AppendInt(static_cast<int64_t>(total > kCapacity ? total - kCapacity
+                                                       : 0));
+  out.Append("}\n");
+}
+
+void FlightRecorder::Reset() {
+  head_.store(0, std::memory_order_relaxed);
+  for (Slot& slot : slots_) slot.ready.store(0, std::memory_order_relaxed);
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace obs
+}  // namespace partminer

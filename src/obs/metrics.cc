@@ -80,6 +80,32 @@ std::vector<int64_t> Histogram::bucket_counts() const {
   return out;
 }
 
+double Histogram::Quantile(double q) const {
+  q = std::min(1.0, std::max(0.0, q));
+  const std::vector<int64_t> counts = bucket_counts();
+  int64_t total = 0;
+  for (const int64_t c : counts) total += c;
+  if (total == 0) return 0;
+  // Rank of the target observation (1-based); q=0 maps to the first.
+  const double rank = std::max(1.0, q * static_cast<double>(total));
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i == bounds_.size()) {
+      // Overflow bucket: no finite upper edge to interpolate toward.
+      return bounds_.empty() ? 0 : bounds_.back();
+    }
+    const double upper = bounds_[i];
+    const double lower = i == 0 ? std::min(0.0, upper) : bounds_[i - 1];
+    const double fraction = (rank - before) / static_cast<double>(counts[i]);
+    return lower + (upper - lower) * fraction;
+  }
+  return bounds_.empty() ? 0 : bounds_.back();
+}
+
 void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -155,7 +181,11 @@ std::string MetricRegistry::ToJson() const {
   for (const auto& [name, h] : histograms_) {
     os << (first ? "" : ",") << "\n    \"" << JsonEscape(name) << "\": {"
        << "\"count\": " << h->count() << ", \"sum\": "
-       << NumberToString(h->sum()) << ", \"buckets\": [";
+       << NumberToString(h->sum())
+       << ", \"p50\": " << NumberToString(h->Quantile(0.50))
+       << ", \"p95\": " << NumberToString(h->Quantile(0.95))
+       << ", \"p99\": " << NumberToString(h->Quantile(0.99))
+       << ", \"buckets\": [";
     const std::vector<int64_t> counts = h->bucket_counts();
     const std::vector<double>& bounds = h->bounds();
     for (size_t i = 0; i < counts.size(); ++i) {
@@ -184,7 +214,9 @@ std::string MetricRegistry::ToText() const {
     os << name << " count=" << h->count() << " sum=" << NumberToString(
         h->sum());
     if (h->count() > 0) {
-      os << " mean=" << NumberToString(h->sum() / h->count());
+      os << " mean=" << NumberToString(h->sum() / h->count())
+         << " p50=" << NumberToString(h->Quantile(0.50))
+         << " p99=" << NumberToString(h->Quantile(0.99));
     }
     os << "\n";
   }

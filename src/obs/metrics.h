@@ -71,6 +71,15 @@ class Histogram {
   std::vector<int64_t> bucket_counts() const;
   void Reset();
 
+  /// Bucket-based quantile estimate for q in [0, 1]: finds the bucket
+  /// holding the q-th observation and interpolates linearly inside it
+  /// (Prometheus histogram_quantile semantics). The estimate is exact when
+  /// observations sit on bucket bounds; otherwise it is within one bucket
+  /// width. Observations in the overflow bucket clamp to the largest finite
+  /// bound — an overflow-heavy histogram reports that bound for high q,
+  /// which is the honest "at least this much" answer. Returns 0 when empty.
+  double Quantile(double q) const;
+
   /// Default latency bounds in milliseconds: 0.1ms .. ~100s, exponential.
   static std::vector<double> DefaultLatencyBoundsMs();
   /// Default size bounds: 1 .. 1M, powers of four.

@@ -1,0 +1,39 @@
+#ifndef PARTMINER_SERVICE_CLIENT_H_
+#define PARTMINER_SERVICE_CLIENT_H_
+
+#include <string>
+
+namespace partminer {
+namespace service {
+
+/// One blocking unix-socket client connection speaking the daemon's
+/// newline-delimited JSON protocol: send one request line, read one
+/// response line. Shared by loadgen's closed-loop workers and pmtop's
+/// polling loop so transport framing lives in exactly one place.
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient() { Close(); }
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  /// Connects to the AF_UNIX stream socket at `path`. False on failure.
+  bool Connect(const std::string& path);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends `line` + '\n' and reads one response line (without the
+  /// terminator). False on any I/O failure; the connection is then dead.
+  bool RoundTrip(const std::string& line, std::string* response);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace service
+}  // namespace partminer
+
+#endif  // PARTMINER_SERVICE_CLIENT_H_

@@ -11,7 +11,9 @@
 
 #include "common/logging.h"
 #include "common/timing.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/json.h"
 
 namespace partminer {
@@ -143,6 +145,22 @@ Status ParseEdit(const Json& item, int graph_count, EditOp* op) {
   return Status::Ok();
 }
 
+/// Interned per-verb latency histogram names. Any verb outside the protocol
+/// maps onto one shared "unknown" histogram so hostile clients cannot mint
+/// unbounded metric names, and the registry lookup never allocates.
+const char* VerbLatencyMetric(const std::string& command) {
+  if (command == "ping") return "service.verb.ping_ms";
+  if (command == "update") return "service.verb.update_ms";
+  if (command == "query") return "service.verb.query_ms";
+  if (command == "snapshot") return "service.verb.snapshot_ms";
+  if (command == "metrics") return "service.verb.metrics_ms";
+  if (command == "sync") return "service.verb.sync_ms";
+  if (command == "health") return "service.verb.health_ms";
+  if (command == "dump") return "service.verb.dump_ms";
+  if (command == "shutdown") return "service.verb.shutdown_ms";
+  return "service.verb.unknown_ms";
+}
+
 Json BatchResultJson(const BatchResult& result) {
   Json out = Json::Object();
   out.Set("epoch", Json::Number(static_cast<int64_t>(result.epoch)));
@@ -233,23 +251,50 @@ void Daemon::BatcherLoop() {
     applying_ = true;
     lock.unlock();
 
+    // Queue wait ends at dequeue; the same stopwatch keeps running so the
+    // post-apply reading is the whole update pipeline for that request.
+    for (const PendingBatch& batch : taken) {
+      PM_METRIC_HISTOGRAM("service.queue_wait_ms")
+          ->Observe(batch.queued.ElapsedMillis());
+    }
+    Stopwatch coalesce_watch;
     std::vector<EditOp> combined;
     combined.reserve(edits);
     for (const PendingBatch& batch : taken) {
       combined.insert(combined.end(), batch.edits.begin(), batch.edits.end());
     }
+    PM_METRIC_HISTOGRAM("service.coalesce_ms")
+        ->Observe(coalesce_watch.ElapsedMillis());
     BatchResult result;
-    const Status status = session_->ApplyBatch(combined, &result);
+    Status status;
+    {
+      PM_TRACE_SPAN("batcher_round",
+                    {{"edits", edits}, {"batches", taken.size()}});
+      status = session_->ApplyBatch(combined, &result);
+    }
     if (!status.ok()) {
       // Degrade, don't die: the batch is dropped, the failure is counted
-      // and logged, waiters get the error, and the daemon keeps serving.
+      // and logged, waiters get the error, and the daemon keeps serving
+      // (health reports "degraded" from here on — acked edits were lost).
+      degraded_.store(true, std::memory_order_relaxed);
       PM_METRIC_COUNTER("service.batches_failed")->Increment();
+      obs::FlightRecorder::Global().Record(
+          obs::FlightEventType::kBatchFailed,
+          static_cast<int64_t>(taken.front().seq), edits,
+          static_cast<int64_t>(taken.size()), status.message().c_str());
       PM_LOG(Warning) << "service: dropped batch of " << edits
                       << " edits: " << status.ToString();
+    } else {
+      obs::FlightRecorder::Global().Record(
+          obs::FlightEventType::kBatchApplied,
+          static_cast<int64_t>(result.epoch), edits,
+          static_cast<int64_t>(taken.size()));
     }
     PM_METRIC_COUNTER("service.batches_coalesced")
         ->Add(static_cast<int64_t>(taken.size()) - 1);
     for (PendingBatch& batch : taken) {
+      PM_METRIC_HISTOGRAM("service.update_pipeline_ms")
+          ->Observe(batch.queued.ElapsedMillis());
       if (batch.done) batch.done->set_value({status, result});
     }
 
@@ -274,6 +319,8 @@ int Daemon::queue_depth_edits() const {
 std::string Daemon::HandleLine(const std::string& line, bool* shutdown) {
   *shutdown = false;
   PM_METRIC_COUNTER("service.requests")->Increment();
+  const uint64_t request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   Stopwatch watch;
   if (line.size() > kMaxLineBytes) {
     return RenderError(nullptr, "bad_request", "request line too large");
@@ -297,6 +344,9 @@ std::string Daemon::HandleLine(const std::string& line, bool* shutdown) {
     return RenderError(id, "bad_request", "missing string field 'cmd'");
   }
   const std::string& command = cmd->AsString();
+  obs::TraceSpan request_span("request");
+  request_span.AddArg({"verb", command});
+  request_span.AddArg({"id", static_cast<int64_t>(request_id)});
 
   std::string response;
   if (command == "ping") {
@@ -313,7 +363,7 @@ std::string Daemon::HandleLine(const std::string& line, bool* shutdown) {
                Json::Number(static_cast<int64_t>(queue_depth_edits())));
     response = RenderResponse(id, std::move(result));
   } else if (command == "update") {
-    response = HandleUpdate(request, id);
+    response = HandleUpdate(request, id, request_id);
   } else if (command == "query") {
     response = HandleQuery(request, id);
   } else if (command == "snapshot") {
@@ -334,6 +384,15 @@ std::string Daemon::HandleLine(const std::string& line, bool* shutdown) {
     SnapshotResult snapshot;
     const Status status = session_->Snapshot(prefix, &snapshot);
     if (!status.ok()) {
+      // A snapshot that failed past argument validation lost durability the
+      // operator asked for: go (stickily) degraded and leave a flight event.
+      if (status.code() != Status::Code::kInvalidArgument) {
+        degraded_.store(true, std::memory_order_relaxed);
+        obs::FlightRecorder::Global().Record(
+            obs::FlightEventType::kSnapshotFailed,
+            static_cast<int64_t>(session_->epoch()), 0, 0,
+            status.message().c_str());
+      }
       response = RenderStatusError(id, status);
     } else {
       Json result = Json::Object();
@@ -354,7 +413,37 @@ std::string Daemon::HandleLine(const std::string& line, bool* shutdown) {
     } else {
       result.Set("registry", Json::Null());
     }
+    result.Set("queue_depth",
+               Json::Number(static_cast<int64_t>(queue_depth_edits())));
+    result.Set("epoch",
+               Json::Number(static_cast<int64_t>(session_->epoch())));
+    const int64_t uptime_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - started_)
+            .count();
+    result.Set("uptime_ms", Json::Number(uptime_ms));
+    result.Set("state", Json::Str(HealthState()));
     response = RenderResponse(id, std::move(result));
+  } else if (command == "health") {
+    Json result = Json::Object();
+    result.Set("state", Json::Str(HealthState()));
+    result.Set("epoch",
+               Json::Number(static_cast<int64_t>(session_->epoch())));
+    result.Set("queue_depth",
+               Json::Number(static_cast<int64_t>(queue_depth_edits())));
+    response = RenderResponse(id, std::move(result));
+  } else if (command == "dump") {
+    // Reparse for the same reason as `metrics`: the dump must splice into
+    // the single-line response framing.
+    Json events;
+    const Status parsed_dump =
+        Json::Parse(obs::FlightRecorder::Global().ToJson(), &events);
+    if (!parsed_dump.ok()) {
+      response = RenderError(id, "internal",
+                             "flight recorder dump failed to parse");
+    } else {
+      response = RenderResponse(id, std::move(events));
+    }
   } else if (command == "sync") {
     WaitQueueDrained();
     Json result = Json::Object();
@@ -372,13 +461,37 @@ std::string Daemon::HandleLine(const std::string& line, bool* shutdown) {
                            "unknown command '" + command + "'");
   }
 
+  const double elapsed_ms = watch.ElapsedMillis();
   obs::MetricRegistry::Global()
       .GetHistogram("service.request_ms")
-      ->Observe(watch.ElapsedMillis());
+      ->Observe(elapsed_ms);
+  // Note: per-verb handles cannot go through PM_METRIC_HISTOGRAM — the
+  // macro's static handle would pin whichever verb arrived first.
+  obs::MetricRegistry::Global()
+      .GetHistogram(VerbLatencyMetric(command))
+      ->Observe(elapsed_ms);
+  if (options_.slow_ms > 0 && elapsed_ms > options_.slow_ms) {
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventType::kSlowRequest,
+        static_cast<int64_t>(request_id),
+        static_cast<int64_t>(elapsed_ms * 1e3), 0, command.c_str());
+    PM_LOG(Warning) << "service: slow request id=" << request_id
+                    << " verb=" << command << " took " << elapsed_ms
+                    << " ms (threshold " << options_.slow_ms << " ms)";
+  }
   return response;
 }
 
-std::string Daemon::HandleUpdate(const Json& request, const Json* id) {
+std::string Daemon::HealthState() {
+  if (!session_->ready()) return "starting";
+  const int depth = queue_depth_edits();
+  if (depth * 5 >= options_.queue_cap_edits * 4) return "overloaded";
+  if (degraded_.load(std::memory_order_relaxed)) return "degraded";
+  return "serving";
+}
+
+std::string Daemon::HandleUpdate(const Json& request, const Json* id,
+                                 uint64_t request_id) {
   const Json* edits_field = request.Get("edits");
   if (edits_field == nullptr || !edits_field->is_array()) {
     return RenderError(id, "invalid_argument",
@@ -425,6 +538,10 @@ std::string Daemon::HandleUpdate(const Json& request, const Json* id) {
     const int incoming = static_cast<int>(batch.edits.size());
     if (queued_edits_ + incoming > options_.queue_cap_edits) {
       PM_METRIC_COUNTER("service.overloaded")->Increment();
+      obs::FlightRecorder::Global().Record(
+          obs::FlightEventType::kRequestRejected,
+          static_cast<int64_t>(request_id), incoming, queued_edits_,
+          "overloaded");
       return RenderError(
           id, "overloaded",
           "update queue full (" + std::to_string(queued_edits_) + " of " +
@@ -433,11 +550,28 @@ std::string Daemon::HandleUpdate(const Json& request, const Json* id) {
     }
     seq = next_seq_++;
     batch.seq = seq;
+    batch.request_id = request_id;
+    batch.queued.Restart();
     queued_edits_ += incoming;
     depth = queued_edits_;
     queue_.push_back(std::move(batch));
     PM_METRIC_GAUGE("service.queue_depth")->Set(queued_edits_);
+    if (queued_edits_ > high_water_) {
+      high_water_ = queued_edits_;
+      PM_METRIC_GAUGE("service.queue_high_water")->Set(high_water_);
+      // Log a flight event only when the high water doubles, so a climbing
+      // queue leaves O(log cap) events rather than one per admission.
+      if (high_water_logged_ == 0 || high_water_ >= 2 * high_water_logged_) {
+        high_water_logged_ = high_water_;
+        obs::FlightRecorder::Global().Record(
+            obs::FlightEventType::kQueueHighWater, high_water_,
+            options_.queue_cap_edits, 0);
+      }
+    }
   }
+  obs::FlightRecorder::Global().Record(
+      obs::FlightEventType::kRequestAdmitted,
+      static_cast<int64_t>(request_id), static_cast<int64_t>(seq), depth);
   queue_cv_.notify_one();
 
   if (!wait) {
@@ -517,8 +651,12 @@ void Daemon::ServeStream(std::istream& in, std::ostream& out) {
   while (std::getline(in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     bool shutdown = false;
-    out << HandleLine(line, &shutdown) << "\n";
+    const std::string response = HandleLine(line, &shutdown);
+    Stopwatch reply_watch;
+    out << response << "\n";
     out.flush();
+    PM_METRIC_HISTOGRAM("service.reply_write_ms")
+        ->Observe(reply_watch.ElapsedMillis());
     if (shutdown) {
       Stop();
       WaitQueueDrained();
@@ -528,9 +666,14 @@ void Daemon::ServeStream(std::istream& in, std::ostream& out) {
 }
 
 void Daemon::Stop() {
+  bool first = false;
   {
     std::lock_guard<std::mutex> lock(qmu_);
+    first = !stopping_;
     stopping_ = true;
+  }
+  if (first) {
+    obs::FlightRecorder::Global().Record(obs::FlightEventType::kShutdown);
   }
   queue_cv_.notify_all();
   std::lock_guard<std::mutex> lock(conn_mu_);
@@ -550,6 +693,7 @@ void Daemon::ServeConnection(int fd) {
       bool shutdown = false;
       std::string response = HandleLine(line, &shutdown);
       response.push_back('\n');
+      Stopwatch reply_watch;
       size_t sent = 0;
       while (sent < response.size()) {
         const ssize_t n = ::send(fd, response.data() + sent,
@@ -557,6 +701,8 @@ void Daemon::ServeConnection(int fd) {
         if (n <= 0) return;
         sent += static_cast<size_t>(n);
       }
+      PM_METRIC_HISTOGRAM("service.reply_write_ms")
+          ->Observe(reply_watch.ElapsedMillis());
       if (shutdown) {
         Stop();
         return;
@@ -570,8 +716,13 @@ void Daemon::ServeConnection(int fd) {
       (void)::send(fd, response.data(), response.size(), MSG_NOSIGNAL);
       return;
     }
+    // Socket-read segment: includes blocking for the client's next byte,
+    // so under a closed-loop client this is dominated by think time.
+    Stopwatch read_watch;
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n <= 0) return;
+    PM_METRIC_HISTOGRAM("service.sock_read_ms")
+        ->Observe(read_watch.ElapsedMillis());
     buffer.append(chunk, static_cast<size_t>(n));
   }
 }

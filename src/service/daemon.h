@@ -1,6 +1,8 @@
 #ifndef PARTMINER_SERVICE_DAEMON_H_
 #define PARTMINER_SERVICE_DAEMON_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -13,6 +15,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/timing.h"
 #include "service/json.h"
 #include "service/session.h"
 
@@ -35,6 +38,10 @@ struct DaemonOptions {
   int batch_max_edits = 256;
   /// Default snapshot path prefix for `snapshot` requests without `path`.
   std::string snapshot_prefix;
+  /// Slow-request log threshold in milliseconds; 0 disables. A request whose
+  /// HandleLine wall time exceeds this is logged at Warning and recorded as
+  /// a kSlowRequest flight event.
+  double slow_ms = 0;
 };
 
 /// The partminerd request engine: newline-delimited JSON in, one JSON
@@ -84,6 +91,12 @@ class Daemon {
  private:
   struct PendingBatch {
     uint64_t seq = 0;
+    /// Lifecycle id of the request that enqueued this batch (flight events
+    /// carry it so a slow round can be matched back to its admission).
+    uint64_t request_id = 0;
+    /// Started at admission; read at dequeue (queue wait) and after apply
+    /// (whole update pipeline: queue wait + coalesce + phase A + phase B).
+    Stopwatch queued;
     std::vector<EditOp> edits;
     /// Set for wait:true updates; fulfilled with the response fragment
     /// after the batch (coalesced with its neighbors) is applied.
@@ -92,17 +105,37 @@ class Daemon {
 
   void BatcherLoop();
   void ServeConnection(int fd);
-  std::string HandleUpdate(const Json& request, const Json* id);
+  std::string HandleUpdate(const Json& request, const Json* id,
+                           uint64_t request_id);
   std::string HandleQuery(const Json& request, const Json* id);
+  /// Operator health summary: "starting" until the session is ready,
+  /// "overloaded" at >= 80% queue occupancy, "degraded" (sticky) after a
+  /// dropped batch or failed snapshot write, else "serving".
+  std::string HealthState();
 
   MinerSession* session_;
   DaemonOptions options_;
+  const std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
+
+  /// Monotonic per-request id, assigned on entry to HandleLine; appears in
+  /// trace spans, flight events and the slow-request log.
+  std::atomic<uint64_t> next_request_id_{0};
+  /// Sticky degraded flag (see HealthState).
+  std::atomic<bool> degraded_{false};
 
   mutable std::mutex qmu_;
   std::condition_variable queue_cv_;    // Batcher wakeup.
   std::condition_variable drained_cv_;  // Sync / drain waiters.
   std::deque<PendingBatch> queue_;
   int queued_edits_ = 0;
+  /// Highest queue occupancy seen (edits); exported as the
+  /// service.queue_high_water gauge. high_water_logged_ is the occupancy at
+  /// the last kQueueHighWater flight event — a new event fires only when
+  /// the high water doubles, so a steadily climbing queue logs O(log n)
+  /// events instead of one per enqueue.
+  int high_water_ = 0;
+  int high_water_logged_ = 0;
   uint64_t next_seq_ = 1;
   bool applying_ = false;
   bool stopping_ = false;

@@ -8,7 +8,9 @@
 #include "core/state_io.h"
 #include "graph/canonical.h"
 #include "graph/graph_io.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace partminer {
 namespace service {
@@ -24,6 +26,16 @@ void FnvMix(uint64_t* h, const void* data, size_t n) {
     *h ^= bytes[i];
     *h *= kFnvPrime;
   }
+}
+
+/// Every injected fault leaves a flight-recorder event before the Status
+/// surfaces — the post-mortem trail a degraded fault-injected run is judged
+/// by (and what the fault-sweep asserts on).
+Status RecordInjectedFault(FaultInjector::Op op, const std::string& context) {
+  obs::FlightRecorder::Global().Record(
+      obs::FlightEventType::kFaultInjected, 0, 0, 0,
+      (std::string(FaultInjector::OpName(op)) + " " + context).c_str());
+  return FaultInjector::InjectedFault(op, context);
 }
 
 }  // namespace
@@ -78,8 +90,8 @@ Status MinerSession::InitFromSnapshot(const std::string& db_path,
   std::unique_lock lock(mu_);
   if (injector_ != nullptr &&
       injector_->ShouldFail(FaultInjector::Op::kRead)) {
-    return FaultInjector::InjectedFault(FaultInjector::Op::kRead,
-                                        "reading snapshot " + db_path);
+    return RecordInjectedFault(FaultInjector::Op::kRead,
+                               "reading snapshot " + db_path);
   }
   GraphDatabase db;
   PARTMINER_RETURN_IF_ERROR_CTX(ReadGraphDatabaseFile(db_path, &db),
@@ -110,24 +122,36 @@ Status MinerSession::ApplyBatch(const std::vector<EditOp>& edits,
   // here is free.
   if (injector_ != nullptr &&
       injector_->ShouldFail(FaultInjector::Op::kAlloc)) {
-    return FaultInjector::InjectedFault(FaultInjector::Op::kAlloc,
-                                        "admitting update batch");
+    return RecordInjectedFault(FaultInjector::Op::kAlloc,
+                               "admitting update batch");
   }
 
+  // Phase B: apply the edits to the resident database.
+  Stopwatch phase_watch;
   UpdateLog log;
-  const EditBatchOutcome outcome = ApplyEditBatch(&db_, edits, &log);
+  EditBatchOutcome outcome;
+  {
+    PM_TRACE_SPAN("phase_b_apply", {{"edits", edits.size()}});
+    outcome = ApplyEditBatch(&db_, edits, &log);
+  }
+  result->phase_b_seconds = phase_watch.ElapsedSeconds();
   result->applied = outcome.applied;
   result->rejected = outcome.rejected;
   result->first_rejection = outcome.first_rejection;
   PM_METRIC_COUNTER("service.edits_applied")->Add(outcome.applied);
   PM_METRIC_COUNTER("service.edits_rejected")->Add(outcome.rejected);
 
+  // Phase A: the incremental re-mine round (routing, unit re-mines, merge,
+  // verify) plus the epoch digest that publishes it.
+  phase_watch.Restart();
   if (outcome.applied > 0) {
+    PM_TRACE_SPAN("phase_a_remine", {{"applied", outcome.applied}});
     const IncPartMinerResult inc = inc_.Update(miner_.get(), db_, log);
     result->remined_units = inc.remined_units.Count();
     ++epoch_;
     RecordEpochLocked();
   }
+  result->phase_a_seconds = phase_watch.ElapsedSeconds();
   result->epoch = epoch_;
   result->patterns = miner_->verified().size();
   result->apply_seconds = watch.ElapsedSeconds();
@@ -137,6 +161,10 @@ Status MinerSession::ApplyBatch(const std::vector<EditOp>& edits,
       ->Observe(static_cast<double>(edits.size()));
   PM_METRIC_HISTOGRAM("service.batch_apply_ms")
       ->Observe(result->apply_seconds * 1e3);
+  PM_METRIC_HISTOGRAM("service.phase_a_ms")
+      ->Observe(result->phase_a_seconds * 1e3);
+  PM_METRIC_HISTOGRAM("service.phase_b_ms")
+      ->Observe(result->phase_b_seconds * 1e3);
   return Status::Ok();
 }
 
@@ -219,20 +247,23 @@ Status MinerSession::Snapshot(const std::string& prefix,
   // attempt (next schedule point) succeeds.
   if (injector_ != nullptr &&
       injector_->ShouldFail(FaultInjector::Op::kWrite)) {
-    return FaultInjector::InjectedFault(FaultInjector::Op::kWrite,
-                                        "writing " + result->db_path);
+    return RecordInjectedFault(FaultInjector::Op::kWrite,
+                               "writing " + result->db_path);
   }
   PARTMINER_RETURN_IF_ERROR_CTX(WriteGraphDatabaseFile(db_, result->db_path),
                                 "snapshotting database");
   if (injector_ != nullptr &&
       injector_->ShouldFail(FaultInjector::Op::kWrite)) {
-    return FaultInjector::InjectedFault(FaultInjector::Op::kWrite,
-                                        "writing " + result->state_path);
+    return RecordInjectedFault(FaultInjector::Op::kWrite,
+                               "writing " + result->state_path);
   }
   PARTMINER_RETURN_IF_ERROR_CTX(
       SaveMinerStateFile(*miner_, result->state_path),
       "snapshotting miner state");
   PM_METRIC_COUNTER("service.snapshots")->Increment();
+  obs::FlightRecorder::Global().Record(
+      obs::FlightEventType::kSnapshotWritten,
+      static_cast<int64_t>(epoch_), 0, 0, prefix.c_str());
   return Status::Ok();
 }
 

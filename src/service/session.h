@@ -40,6 +40,12 @@ struct BatchResult {
   int remined_units = 0;
   int patterns = 0;
   double apply_seconds = 0;
+  /// Lifecycle breakdown (DESIGN.md section 13): phase B is applying the
+  /// edits to the resident database; phase A is the incremental re-mine
+  /// round (routing, unit re-mines, merge, verify, digest). Together they
+  /// tile apply_seconds.
+  double phase_a_seconds = 0;
+  double phase_b_seconds = 0;
 };
 
 struct QueryRequest {

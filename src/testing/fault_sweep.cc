@@ -11,6 +11,7 @@
 #include "datagen/edit_stream.h"
 #include "datagen/generator.h"
 #include "miner/gspan.h"
+#include "obs/flight_recorder.h"
 #include "service/daemon.h"
 #include "service/json.h"
 #include "service/session.h"
@@ -340,6 +341,10 @@ FaultSweepOutcome RunDaemonFaultSweep(uint64_t seed) {
   const auto run_round = [&](FaultInjector* injector,
                              const std::string& label) {
     ++out.runs;
+    // Sequence fence: every fault injected from here on must leave a
+    // flight-recorder event with seq at or past this mark.
+    const uint64_t flight_start =
+        obs::FlightRecorder::Global().total_recorded();
     service::MinerSession session(session_options);
     const Status init = session.Init(base);
     if (!init.ok()) {
@@ -398,6 +403,22 @@ FaultSweepOutcome RunDaemonFaultSweep(uint64_t seed) {
       return;
     }
     if (round.injected_failures) {
+      // The post-mortem contract: a fault that surfaced to a client must
+      // also be visible in the flight recorder.
+      bool saw_fault_event = false;
+      for (const obs::FlightEvent& event :
+           obs::FlightRecorder::Global().Snapshot()) {
+        if (event.type == obs::FlightEventType::kFaultInjected &&
+            event.seq >= flight_start) {
+          saw_fault_event = true;
+          break;
+        }
+      }
+      if (!saw_fault_event) {
+        out.violations.push_back(
+            label + ": injected fault left no flight-recorder event");
+        return;
+      }
       ++out.clean_failures;
     } else {
       ++out.successes;

@@ -1,0 +1,211 @@
+// Flight recorder: lock-free ring semantics (wraparound, concurrent
+// append/snapshot consistency under TSan), detail sanitization, and the
+// JSON dump paths (allocating ToJson and the async-signal-safe DumpToFd).
+
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "service/json.h"
+
+namespace partminer {
+namespace obs {
+namespace {
+
+using service::Json;
+
+TEST(FlightRecorderTest, RecordAndSnapshotRoundTrip) {
+  FlightRecorder recorder;
+  recorder.Record(FlightEventType::kRequestAdmitted, 1, 2, 3, "first");
+  recorder.Record(FlightEventType::kBatchApplied, 7, 8, 9);
+  recorder.Record(FlightEventType::kShutdown, -4);
+
+  const std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[0].type, FlightEventType::kRequestAdmitted);
+  EXPECT_EQ(events[0].a, 1);
+  EXPECT_EQ(events[0].b, 2);
+  EXPECT_EQ(events[0].c, 3);
+  EXPECT_EQ(events[0].detail, "first");
+  EXPECT_EQ(events[1].seq, 1u);
+  EXPECT_EQ(events[1].type, FlightEventType::kBatchApplied);
+  EXPECT_TRUE(events[1].detail.empty());
+  EXPECT_EQ(events[2].a, -4);
+  // Timestamps are non-decreasing on one thread.
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+  EXPECT_LE(events[1].ts_us, events[2].ts_us);
+  EXPECT_EQ(recorder.total_recorded(), 3u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+TEST(FlightRecorderTest, DetailIsSanitizedAndTruncated) {
+  FlightRecorder recorder;
+  recorder.Record(FlightEventType::kFaultInjected, 0, 0, 0,
+                  "quote\" slash\\ tab\t ok");
+  const std::string long_detail(2 * FlightRecorder::kDetailBytes, 'x');
+  recorder.Record(FlightEventType::kFaultInjected, 0, 0, 0,
+                  long_detail.c_str());
+
+  const std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Characters that would need JSON escaping are replaced with spaces.
+  EXPECT_EQ(events[0].detail, "quote  slash  tab  ok");
+  // Truncated to the slot's packed capacity, NUL included.
+  EXPECT_EQ(events[1].detail.size(), FlightRecorder::kDetailBytes - 1);
+  EXPECT_EQ(events[1].detail,
+            std::string(FlightRecorder::kDetailBytes - 1, 'x'));
+}
+
+TEST(FlightRecorderTest, WraparoundKeepsNewestEvents) {
+  FlightRecorder recorder;
+  constexpr uint64_t kTotal = FlightRecorder::kCapacity * 2 + 277;
+  for (uint64_t i = 0; i < kTotal; ++i) {
+    recorder.Record(FlightEventType::kRequestAdmitted,
+                    static_cast<int64_t>(i));
+  }
+  EXPECT_EQ(recorder.total_recorded(), kTotal);
+  EXPECT_EQ(recorder.dropped(), kTotal - FlightRecorder::kCapacity);
+
+  const std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), FlightRecorder::kCapacity);
+  // The ring keeps exactly the newest kCapacity events, in order, with the
+  // payload still matching the sequence number it was recorded under.
+  for (size_t i = 0; i < events.size(); ++i) {
+    const uint64_t expected_seq = kTotal - FlightRecorder::kCapacity + i;
+    EXPECT_EQ(events[i].seq, expected_seq);
+    EXPECT_EQ(events[i].a, static_cast<int64_t>(expected_seq));
+  }
+}
+
+TEST(FlightRecorderTest, ResetClearsRing) {
+  FlightRecorder recorder;
+  for (int i = 0; i < 10; ++i) {
+    recorder.Record(FlightEventType::kShutdown);
+  }
+  recorder.Reset();
+  EXPECT_EQ(recorder.total_recorded(), 0u);
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  recorder.Record(FlightEventType::kBatchApplied, 5);
+  const std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[0].a, 5);
+}
+
+TEST(FlightRecorderTest, ToJsonParsesAndReportsDropped) {
+  FlightRecorder recorder;
+  constexpr uint64_t kTotal = FlightRecorder::kCapacity + 40;
+  for (uint64_t i = 0; i < kTotal; ++i) {
+    recorder.Record(FlightEventType::kBatchApplied, static_cast<int64_t>(i),
+                    2 * static_cast<int64_t>(i), 0, "round");
+  }
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(recorder.ToJson(), &parsed).ok());
+  const Json* events = parsed.Get("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_EQ(events->items().size(), FlightRecorder::kCapacity);
+  const Json* dropped = parsed.Get("dropped");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(dropped->AsInt(), static_cast<int64_t>(kTotal) -
+                                  static_cast<int64_t>(
+                                      FlightRecorder::kCapacity));
+  const Json& last = events->items().back();
+  EXPECT_EQ(last.Get("type")->AsString(), "batch_applied");
+  EXPECT_EQ(last.Get("a")->AsInt(), static_cast<int64_t>(kTotal) - 1);
+  EXPECT_EQ(last.Get("detail")->AsString(), "round");
+}
+
+TEST(FlightRecorderTest, DumpToFdMatchesToJson) {
+  FlightRecorder recorder;
+  recorder.Record(FlightEventType::kFaultInjected, 1, -2, 3,
+                  "alloc admitting update batch");
+  recorder.Record(FlightEventType::kSlowRequest, 42, 17000, 0, "query");
+
+  const std::string path =
+      ::testing::TempDir() + "/flight_dump_test.json";
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  recorder.DumpToFd(fd);
+  ASSERT_EQ(::close(fd), 0);
+
+  std::ifstream in(path);
+  std::stringstream contents;
+  contents << in.rdbuf();
+  // The signal-safe writer must produce byte-identical JSON (plus the
+  // trailing newline) to the allocating path.
+  EXPECT_EQ(contents.str(), recorder.ToJson() + "\n");
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, ConcurrentAppendAndSnapshotStayConsistent) {
+  FlightRecorder recorder;
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 20000;
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn_payloads{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&recorder, &stop, &torn_payloads] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::vector<FlightEvent> events = recorder.Snapshot();
+        uint64_t last_seq = 0;
+        bool first = true;
+        for (const FlightEvent& event : events) {
+          // Writers maintain c == a + b; any decoded event violating it is
+          // a torn read the seqlock failed to reject.
+          if (event.c != event.a + event.b) {
+            torn_payloads.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (!first && event.seq <= last_seq) {
+            torn_payloads.fetch_add(1, std::memory_order_relaxed);
+          }
+          last_seq = event.seq;
+          first = false;
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&recorder, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        const int64_t a = w;
+        const int64_t b = i;
+        recorder.Record(FlightEventType::kRequestAdmitted, a, b, a + b,
+                        "concurrent");
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(torn_payloads.load(), 0);
+  EXPECT_EQ(recorder.total_recorded(),
+            static_cast<uint64_t>(kWriters) * kPerWriter);
+  // Quiescent ring: the final snapshot is full and every payload intact.
+  const std::vector<FlightEvent> events = recorder.Snapshot();
+  EXPECT_EQ(events.size(), FlightRecorder::kCapacity);
+  for (const FlightEvent& event : events) {
+    EXPECT_EQ(event.c, event.a + event.b);
+    EXPECT_EQ(event.detail, "concurrent");
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace partminer

@@ -182,6 +182,66 @@ TEST(MetricRegistryTest, HistogramBucketSemantics) {
   EXPECT_EQ(registry.GetHistogram("test.hist", {5.0}), h);
 }
 
+TEST(MetricRegistryTest, QuantileOnEmptyHistogramIsZero) {
+  MetricRegistry registry;
+  Histogram* h = registry.GetHistogram("test.quantile_empty", {1.0, 10.0});
+  EXPECT_EQ(h->Quantile(0.5), 0.0);
+  EXPECT_EQ(h->Quantile(0.99), 0.0);
+}
+
+TEST(MetricRegistryTest, QuantileInterpolatesWithinBucket) {
+  MetricRegistry registry;
+  // One bucket (0, 10]: five observations spread the rank uniformly across
+  // the bucket, so the estimate is linear interpolation from 0 to 10.
+  Histogram* h = registry.GetHistogram("test.quantile_single", {10.0});
+  for (int i = 0; i < 5; ++i) h->Observe(5.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.0), 2.0);   // rank clamps to 1 of 5.
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 5.0);   // rank 2.5 of 5.
+  EXPECT_DOUBLE_EQ(h->Quantile(1.0), 10.0);  // rank 5 of 5.
+}
+
+TEST(MetricRegistryTest, QuantileWalksCumulativeBuckets) {
+  MetricRegistry registry;
+  // Buckets (0,1], (1,2], (2,4] with counts 2 / 6 / 2.
+  Histogram* h = registry.GetHistogram("test.quantile_multi",
+                                       {1.0, 2.0, 4.0});
+  for (int i = 0; i < 2; ++i) h->Observe(0.5);
+  for (int i = 0; i < 6; ++i) h->Observe(1.5);
+  for (int i = 0; i < 2; ++i) h->Observe(3.0);
+  // rank 5 of 10 lands halfway through the middle bucket: 1 + 0.5 * (2-1).
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 1.5);
+  // rank 9 of 10 lands halfway through the last bucket: 2 + 0.5 * (4-2).
+  EXPECT_DOUBLE_EQ(h->Quantile(0.9), 3.0);
+  // rank 2 of 10 is exactly the end of the first bucket.
+  EXPECT_DOUBLE_EQ(h->Quantile(0.2), 1.0);
+}
+
+TEST(MetricRegistryTest, QuantileOverflowClampsToLastFiniteBound) {
+  MetricRegistry registry;
+  Histogram* h = registry.GetHistogram("test.quantile_overflow",
+                                       {1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(5.0);
+  for (int i = 0; i < 3; ++i) h->Observe(1000.0);  // Overflow bucket.
+  // Ranks past the finite buckets cannot be interpolated; they clamp to the
+  // last finite bound rather than inventing a value.
+  EXPECT_DOUBLE_EQ(h->Quantile(0.99), 10.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 10.0);
+  // A rank inside the finite buckets still interpolates normally: rank 1
+  // exhausts the single-count first bucket, landing on its upper bound.
+  EXPECT_DOUBLE_EQ(h->Quantile(0.1), 1.0);
+}
+
+TEST(MetricRegistryTest, JsonExportIncludesQuantileEstimates) {
+  MetricRegistry registry;
+  registry.GetHistogram("test.quantile_export", {1.0, 10.0})->Observe(5.0);
+  const std::string json = registry.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
 TEST(MetricRegistryTest, ConcurrentIncrementsAreExact) {
   MetricRegistry registry;
   Counter* c = registry.GetCounter("test.concurrent");

@@ -8,6 +8,10 @@
 #include <string>
 
 #include "gtest/gtest.h"
+#include "obs/flight_recorder.h"
+#include "service/daemon.h"
+#include "service/session.h"
+#include "storage/fault_injector.h"
 #include "testing/fault_sweep.h"
 
 namespace partminer {
@@ -33,6 +37,48 @@ TEST(ServiceFaultSweepTest, ResidentDaemonSurvivesFaultGrid) {
   // fail cleanly (fault hit a consult point), some complete correctly.
   EXPECT_GT(outcome.clean_failures, 0) << Describe(outcome);
   EXPECT_GT(outcome.successes, 0) << Describe(outcome);
+}
+
+TEST(ServiceFaultSweepTest, InjectedFaultLeavesFlightRecorderEvent) {
+  // Arm a single admission fault, drive one update, and require both a
+  // clean structured error on the wire and a fault_injected event in the
+  // flight recorder — the post-mortem trail the sweep asserts in bulk.
+  obs::FlightRecorder::Global().Reset();
+  service::SessionOptions options;
+  options.miner.min_support_count = 2;
+  service::MinerSession session(options);
+  GraphDatabase db;
+  for (int i = 0; i < 2; ++i) {
+    Graph g;
+    g.AddVertex(0);
+    g.AddVertex(1);
+    g.AddEdge(0, 1, 5);
+    db.Add(std::move(g));
+  }
+  ASSERT_TRUE(session.Init(std::move(db)).ok());
+  FaultInjector injector(1);
+  injector.FailOnce(FaultInjector::Op::kAlloc, 0);
+  session.set_fault_injector(&injector);
+  service::Daemon daemon(&session, {});
+
+  bool shutdown = false;
+  const std::string response = daemon.HandleLine(
+      R"({"id":1,"cmd":"update","wait":true,"edits":[)"
+      R"({"kind":"relabel","graph":0,"vertex":0,"label":3}]})",
+      &shutdown);
+  EXPECT_NE(response.find("\"ok\":false"), std::string::npos) << response;
+  EXPECT_NE(response.find("injected"), std::string::npos) << response;
+
+  bool saw_fault_event = false;
+  for (const obs::FlightEvent& event :
+       obs::FlightRecorder::Global().Snapshot()) {
+    if (event.type == obs::FlightEventType::kFaultInjected &&
+        event.detail.find("admitting update batch") != std::string::npos) {
+      saw_fault_event = true;
+    }
+  }
+  EXPECT_TRUE(saw_fault_event)
+      << "injected admission fault left no flight-recorder event";
 }
 
 TEST(ServiceFaultSweepTest, SweepIsDeterministicPerSeed) {

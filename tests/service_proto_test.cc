@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "obs/flight_recorder.h"
 #include "service/daemon.h"
 #include "service/json.h"
 #include "service/session.h"
@@ -42,6 +43,9 @@ GraphDatabase GoldenDatabase() {
 class ServiceProtoTest : public ::testing::Test {
  protected:
   ServiceProtoTest() : session_(MakeOptions()), daemon_(&session_, {}) {
+    // The flight recorder is process-global; start each scenario from an
+    // empty ring so the `dump` golden row stays byte-exact.
+    obs::FlightRecorder::Global().Reset();
     EXPECT_TRUE(session_.Init(GoldenDatabase()).ok());
   }
 
@@ -161,6 +165,13 @@ TEST_F(ServiceProtoTest, GoldenTable) {
       {R"({"id":20,"cmd":"sync"})",
        R"({"id":20,"ok":true,"result":{"epoch":0,"digest":")" + digest +
        R"("}})"},
+      // Operator verbs. Nothing above admits an update or trips a fault, so
+      // the health state is `serving` and the flight recorder is empty.
+      {R"({"id":21,"cmd":"health"})",
+       R"({"id":21,"ok":true,"result":{"state":"serving","epoch":0,)"
+       R"("queue_depth":0}})"},
+      {R"({"id":22,"cmd":"dump"})",
+       R"({"id":22,"ok":true,"result":{"events":[],"dropped":0}})"},
   };
   for (const GoldenCase& c : table) {
     EXPECT_EQ(Handle(c.request), c.expected) << "request: " << c.request;
@@ -223,6 +234,56 @@ TEST_F(ServiceProtoTest, StaleEditsAreSkippedAndCounted) {
   EXPECT_EQ(result->Get("epoch")->AsInt(), 0);
 }
 
+TEST_F(ServiceProtoTest, DumpExposesAdmittedUpdatesInFlightOrder) {
+  // An applied update leaves a request_admitted then batch_applied trail in
+  // the flight recorder, reachable through the `dump` verb.
+  const std::string update = Handle(
+      R"({"id":60,"cmd":"update","wait":true,"edits":[)"
+      R"({"kind":"relabel","graph":3,"vertex":0,"label":9}]})");
+  ASSERT_NE(update.find("\"ok\":true"), std::string::npos) << update;
+
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(Handle(R"({"id":61,"cmd":"dump"})"), &parsed).ok());
+  const Json* events = parsed.Get("result")->Get("events");
+  ASSERT_NE(events, nullptr);
+  int admitted = 0, applied = 0;
+  int64_t admitted_before_applied = -1;
+  for (const Json& event : events->items()) {
+    const std::string& type = event.Get("type")->AsString();
+    if (type == "request_admitted") {
+      ++admitted;
+      if (applied == 0) admitted_before_applied = event.Get("a")->AsInt();
+    }
+    if (type == "batch_applied") ++applied;
+  }
+  EXPECT_EQ(admitted, 1);
+  EXPECT_EQ(applied, 1);
+  // The admitted event carries the daemon-assigned request id (first request
+  // of this fixture instance).
+  EXPECT_EQ(admitted_before_applied, 1);
+}
+
+TEST_F(ServiceProtoTest, HealthReportsDegradedAfterSnapshotFailure) {
+  // A snapshot failure that is not an argument error marks the daemon
+  // degraded: /nonexistent is not writable, so the write fails.
+  const std::string response =
+      Handle(R"({"id":70,"cmd":"snapshot","path":"/nonexistent/x/y"})");
+  ASSERT_NE(response.find("\"ok\":false"), std::string::npos) << response;
+  const std::string health = Handle(R"({"id":71,"cmd":"health"})");
+  EXPECT_NE(health.find("\"state\":\"degraded\""), std::string::npos)
+      << health;
+  // ...and the failure is on the flight recorder.
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(Handle(R"({"id":72,"cmd":"dump"})"), &parsed).ok());
+  bool saw_snapshot_failed = false;
+  for (const Json& event : parsed.Get("result")->Get("events")->items()) {
+    if (event.Get("type")->AsString() == "snapshot_failed") {
+      saw_snapshot_failed = true;
+    }
+  }
+  EXPECT_TRUE(saw_snapshot_failed);
+}
+
 TEST_F(ServiceProtoTest, ServeStreamFramesOneResponsePerLineAndStops) {
   std::istringstream in(
       "{\"id\":1,\"cmd\":\"ping\"}\r\n"
@@ -251,6 +312,11 @@ TEST(ServiceProtoStandaloneTest, UninitializedSessionFailsCleanly) {
       daemon.HandleLine(R"({"id":1,"cmd":"query"})", &shutdown);
   EXPECT_NE(response.find("\"ok\":false"), std::string::npos);
   EXPECT_NE(response.find("session not initialized"), std::string::npos);
+  // Health still answers — and reports that the daemon is not serving yet.
+  const std::string health =
+      daemon.HandleLine(R"({"id":2,"cmd":"health"})", &shutdown);
+  EXPECT_NE(health.find("\"state\":\"starting\""), std::string::npos)
+      << health;
 }
 
 }  // namespace

@@ -10,10 +10,18 @@ so the script can gate a CI step.
 
 Usage:
     tools/bench_compare.py OLD.json NEW.json [--threshold=0.10] [--key=after_ms]
+                           [--require=daemon_breakdown_ms]
 
 With --key only the named *_ms blocks are compared (e.g. --key=after_ms to
 diff the post-change numbers of two records); the default compares every
 *_ms block present in both files under the same JSON path.
+
+--require names an *_ms block that must be present in BOTH files; a missing
+required block is an error (exit 2), not a silent skip. Use it to keep a CI
+gate honest when a record stops emitting a block (e.g. loadgen's
+``daemon_breakdown_ms``, whose ``<segment>_p50`` / ``<segment>_p99`` entries
+carry the request-lifecycle latency breakdown: sock_read, queue_wait,
+coalesce, phase_a_remine, phase_b_apply, update_pipeline, reply_write).
 """
 
 import argparse
@@ -50,6 +58,11 @@ def main():
     parser.add_argument("--key", default=None,
                         help="only compare *_ms blocks with this name "
                              "(e.g. after_ms)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="BLOCK",
+                        help="fail (exit 2) unless an *_ms block with this "
+                             "name exists in both files; repeatable "
+                             "(e.g. --require=daemon_breakdown_ms)")
     args = parser.parse_args()
 
     try:
@@ -63,6 +76,12 @@ def main():
 
     old_blocks = dict(collect_ms_blocks(old_doc))
     new_blocks = dict(collect_ms_blocks(new_doc))
+    for required in args.require:
+        for label, blocks in (("old", old_blocks), ("new", new_blocks)):
+            if not any(p.split(".")[-1] == required for p in blocks):
+                print(f"error: required block '{required}' missing from "
+                      f"{label} file", file=sys.stderr)
+                return 2
     if args.key is not None:
         old_blocks = {p: b for p, b in old_blocks.items()
                       if p.split(".")[-1] == args.key}

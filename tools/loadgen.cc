@@ -20,10 +20,10 @@
 //   - the final metrics dump shows zero rejected edits (the generated stream
 //     is valid under any interleaving) and a queue depth of zero.
 // Reports sustained throughput and exact p50/p99 latency per request class,
+// the daemon-side request lifecycle breakdown (queue wait, batch coalesce,
+// phase-A re-mine, phase-B apply, reply write — DESIGN.md section 13),
 // optionally as a bench_compare.py-compatible BENCH json block.
 
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -39,11 +39,13 @@
 #include <thread>
 #include <vector>
 
+#include "common/flags.h"
 #include "common/parse.h"
 #include "common/timing.h"
 #include "datagen/edit_stream.h"
 #include "datagen/generator.h"
 #include "graph/graph_io.h"
+#include "service/client.h"
 #include "service/daemon.h"
 #include "service/json.h"
 
@@ -51,115 +53,10 @@ namespace {
 
 using namespace partminer;
 using service::Json;
-
-std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
-  std::map<std::string, std::string> flags;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) {
-      std::fprintf(stderr, "warning: ignoring stray argument '%s'\n",
-                   arg.c_str());
-      continue;
-    }
-    arg = arg.substr(2);
-    const size_t eq = arg.find('=');
-    if (eq == std::string::npos) {
-      flags[arg] = "1";
-    } else {
-      flags[arg.substr(0, eq)] = arg.substr(eq + 1);
-    }
-  }
-  return flags;
-}
-
-std::string Get(const std::map<std::string, std::string>& flags,
-                const std::string& key, const std::string& fallback) {
-  const auto it = flags.find(key);
-  return it == flags.end() ? fallback : it->second;
-}
-
-bool IntFlag(const std::map<std::string, std::string>& flags,
-             const std::string& key, int fallback, int* out) {
-  const std::string raw = Get(flags, key, "");
-  if (raw.empty()) {
-    *out = fallback;
-    return true;
-  }
-  if (!ParseInt32(raw, out)) {
-    std::fprintf(stderr, "error: --%s=%s is not an integer\n", key.c_str(),
-                 raw.c_str());
-    return false;
-  }
-  return true;
-}
-
-bool DoubleFlag(const std::map<std::string, std::string>& flags,
-                const std::string& key, double fallback, double* out) {
-  const std::string raw = Get(flags, key, "");
-  if (raw.empty()) {
-    *out = fallback;
-    return true;
-  }
-  if (!ParseDouble(raw, out)) {
-    std::fprintf(stderr, "error: --%s=%s is not a number\n", key.c_str(),
-                 raw.c_str());
-    return false;
-  }
-  return true;
-}
-
-/// One blocking unix-socket client connection with line framing.
-class Client {
- public:
-  ~Client() { Close(); }
-
-  bool Connect(const std::string& path) {
-    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd_ < 0) return false;
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (path.size() >= sizeof(addr.sun_path)) return false;
-    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-        0) {
-      Close();
-      return false;
-    }
-    return true;
-  }
-
-  void Close() {
-    if (fd_ >= 0) ::close(fd_);
-    fd_ = -1;
-  }
-
-  /// Sends `line` + '\n' and reads one response line. False on I/O failure.
-  bool RoundTrip(const std::string& line, std::string* response) {
-    std::string out = line;
-    out.push_back('\n');
-    size_t sent = 0;
-    while (sent < out.size()) {
-      const ssize_t n = ::send(fd_, out.data() + sent, out.size() - sent,
-                               MSG_NOSIGNAL);
-      if (n <= 0) return false;
-      sent += static_cast<size_t>(n);
-    }
-    size_t newline;
-    while ((newline = buffer_.find('\n')) == std::string::npos) {
-      char chunk[4096];
-      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-      if (n <= 0) return false;
-      buffer_.append(chunk, static_cast<size_t>(n));
-    }
-    *response = buffer_.substr(0, newline);
-    buffer_.erase(0, newline + 1);
-    return true;
-  }
-
- private:
-  int fd_ = -1;
-  std::string buffer_;
-};
+using service::LineClient;
+using flags::DoubleFlag;
+using flags::Get;
+using flags::IntFlag;
 
 std::string ItemToRequest(const StreamItem& item, int64_t id) {
   std::string line = "{\"id\":" + std::to_string(id);
@@ -202,7 +99,7 @@ struct WorkerStats {
 void RunWorker(const std::string& socket_path,
                const std::vector<StreamItem>& items, size_t first,
                size_t stride, WorkerStats* stats) {
-  Client client;
+  LineClient client;
   if (!client.Connect(socket_path)) {
     stats->Complain(-1, "connect failed", socket_path);
     return;
@@ -324,7 +221,7 @@ bool WaitForSocket(const std::string& path, pid_t daemon_pid,
                    double timeout_seconds) {
   Stopwatch watch;
   while (watch.ElapsedSeconds() < timeout_seconds) {
-    Client probe;
+    LineClient probe;
     if (probe.Connect(path)) return true;
     if (daemon_pid > 0) {
       int wait_status = 0;
@@ -354,7 +251,11 @@ int Usage() {
 }
 
 int Main(int argc, char** argv) {
-  const auto flags = ParseFlags(argc, argv);
+  const flags::FlagMap flags = flags::Parse(argc, argv);
+  flags::WarnUnknown(flags, {"daemon", "socket", "input", "requests",
+                             "clients", "update-fraction", "edits-per-update",
+                             "seed", "support", "k", "threads", "queue-cap",
+                             "batch-max", "record", "replay", "out", "smoke"});
   const bool smoke = flags.count("smoke") > 0;
 
   int requests = 0, clients = 0, edits_per_update = 0, seed = 0;
@@ -432,7 +333,7 @@ int Main(int argc, char** argv) {
   // Control connection: discover the resident support (query supports are
   // generated relative to it) and sanity-check the daemon sees the same
   // database.
-  Client control;
+  LineClient control;
   std::string response;
   Json parsed;
   const auto fail = [&](const std::string& why) {
@@ -564,6 +465,43 @@ int Main(int argc, char** argv) {
                  static_cast<long long>(depth->AsInt()));
   }
 
+  // Daemon-side lifecycle breakdown (DESIGN.md section 13): bucket-estimated
+  // quantiles of each pipeline segment, read from the same metrics dump.
+  const Json* histograms = registry ? registry->Get("histograms") : nullptr;
+  const auto quantile = [&](const char* name, const char* q) -> double {
+    const Json* h = histograms ? histograms->Get(name) : nullptr;
+    const Json* v = h ? h->Get(q) : nullptr;
+    return v != nullptr && v->is_number() ? v->AsDouble() : 0;
+  };
+  struct Segment {
+    const char* label;
+    const char* metric;
+    double p50 = 0, p99 = 0;
+  };
+  Segment segments[] = {
+      {"sock_read", "service.sock_read_ms"},
+      {"queue_wait", "service.queue_wait_ms"},
+      {"coalesce", "service.coalesce_ms"},
+      {"phase_a_remine", "service.phase_a_ms"},
+      {"phase_b_apply", "service.phase_b_ms"},
+      {"update_pipeline", "service.update_pipeline_ms"},
+      {"reply_write", "service.reply_write_ms"},
+  };
+  for (Segment& segment : segments) {
+    segment.p50 = quantile(segment.metric, "p50");
+    segment.p99 = quantile(segment.metric, "p99");
+  }
+  // Accounting check: queue wait + coalesce + phase A + phase B + reply
+  // write should explain (almost) all of the daemon-side update pipeline —
+  // sock_read is excluded because under a closed loop it measures client
+  // think time, not service time.
+  const double explained_p99 = segments[1].p99 + segments[2].p99 +
+                               segments[3].p99 + segments[4].p99 +
+                               segments[6].p99;
+  const double pipeline_p99 = segments[5].p99 + segments[6].p99;
+  const double breakdown_coverage =
+      pipeline_p99 > 0 ? explained_p99 / pipeline_p99 : 0;
+
   if (spawn) {
     control.RoundTrip("{\"id\":\"ctl-bye\",\"cmd\":\"shutdown\"}", &response);
     control.Close();
@@ -596,6 +534,15 @@ int Main(int argc, char** argv) {
       update_latency.max, update_ms.size(), sync_seconds,
       static_cast<long long>(edits_applied),
       static_cast<long long>(batches_applied));
+  std::printf("  daemon breakdown (bucket-estimated ms):\n");
+  for (const Segment& segment : segments) {
+    std::printf("    %-15s p50 %8.3f  p99 %8.3f\n", segment.label,
+                segment.p50, segment.p99);
+  }
+  std::printf(
+      "  breakdown coverage: %.1f%% of update-pipeline p99 explained by "
+      "queue-wait + coalesce + phase A + phase B + reply-write\n",
+      breakdown_coverage * 100.0);
 
   const std::string out = Get(flags, "out", "");
   if (!out.empty()) {
@@ -618,6 +565,16 @@ int Main(int argc, char** argv) {
     latency.Set("drive_total_ms", Json::Number(drive_seconds * 1e3));
     latency.Set("sync_drain_ms", Json::Number(sync_seconds * 1e3));
     bench.Set("latency_ms", std::move(latency));
+    // Named `*_ms` so bench_compare.py picks the block up automatically.
+    Json breakdown = Json::Object();
+    for (const Segment& segment : segments) {
+      breakdown.Set(std::string(segment.label) + "_p50",
+                    Json::Number(segment.p50));
+      breakdown.Set(std::string(segment.label) + "_p99",
+                    Json::Number(segment.p99));
+    }
+    bench.Set("daemon_breakdown_ms", std::move(breakdown));
+    bench.Set("breakdown_coverage", Json::Number(breakdown_coverage));
     std::ofstream file(out);
     file << bench.Dump() << "\n";
     if (!file) {

@@ -19,10 +19,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <map>
 #include <sstream>
 #include <string>
 
+#include "common/flags.h"
 #include "datagen/generator.h"
 #include "testing/differential.h"
 #include "testing/fault_sweep.h"
@@ -34,45 +34,19 @@ using testing::DifferentialResult;
 using testing::FaultSweepOutcome;
 using testing::FuzzCaseParams;
 
-std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
-  std::map<std::string, std::string> flags;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) continue;
-    arg = arg.substr(2);
-    const size_t eq = arg.find('=');
-    if (eq == std::string::npos) {
-      flags[arg] = "1";
-    } else {
-      flags[arg.substr(0, eq)] = arg.substr(eq + 1);
-    }
-  }
-  return flags;
-}
-
-std::string Get(const std::map<std::string, std::string>& flags,
-                const std::string& key, const std::string& fallback) {
-  auto it = flags.find(key);
-  return it == flags.end() ? fallback : it->second;
-}
-
 int Run(int argc, char** argv) {
-  const std::map<std::string, std::string> flags = ParseFlags(argc, argv);
-  for (const auto& [key, value] : flags) {
-    (void)value;
-    if (key != "seeds" && key != "start-seed" && key != "smoke" &&
-        key != "no-faults" && key != "corpus" && key != "minimize") {
-      std::fprintf(stderr, "warning: unknown flag --%s\n", key.c_str());
-    }
-  }
-  const uint64_t seeds =
-      std::strtoull(Get(flags, "seeds", "100").c_str(), nullptr, 10);
-  const uint64_t start =
-      std::strtoull(Get(flags, "start-seed", "0").c_str(), nullptr, 10);
-  const bool smoke = flags.count("smoke") > 0;
-  const bool faults = flags.count("no-faults") == 0;
-  const bool minimize = Get(flags, "minimize", "1") != "0";
-  const std::string corpus = Get(flags, "corpus", "data/corpus/divergence");
+  const flags::FlagMap flag_map = flags::Parse(argc, argv);
+  flags::WarnUnknown(flag_map, {"seeds", "start-seed", "smoke", "no-faults",
+                                "corpus", "minimize"});
+  const uint64_t seeds = std::strtoull(
+      flags::Get(flag_map, "seeds", "100").c_str(), nullptr, 10);
+  const uint64_t start = std::strtoull(
+      flags::Get(flag_map, "start-seed", "0").c_str(), nullptr, 10);
+  const bool smoke = flag_map.count("smoke") > 0;
+  const bool faults = flag_map.count("no-faults") == 0;
+  const bool minimize = flags::Get(flag_map, "minimize", "1") != "0";
+  const std::string corpus =
+      flags::Get(flag_map, "corpus", "data/corpus/divergence");
 
   int divergences = 0;
   for (uint64_t seed = start; seed < start + seeds; ++seed) {

@@ -4,7 +4,8 @@
 //              (--socket=/path/daemon.sock | --stdio)
 //              [--queue-cap=4096] [--batch-max=256]
 //              [--snapshot-prefix=/path/snap] [--num-labels=20]
-//              [--metrics=metrics.json]
+//              [--metrics=metrics.json] [--trace=trace.json]
+//              [--slow-ms=MS] [--flight-dump=flight.json]
 //              [--fault-read=SPEC] [--fault-write=SPEC] [--fault-alloc=SPEC]
 //              [--fault-seed=S]
 //   partminerd --restore=/path/snap (--socket=... | --stdio) [...]
@@ -13,24 +14,38 @@
 // IncPartMiner state resident and serves the newline-delimited JSON
 // protocol of DESIGN.md section 12: `update` (batched edits, bounded queue
 // with overload rejection), `query` (frequent-pattern retrieval /
-// containment), `snapshot` (state_io v2 checkpoint), `metrics`, `sync`,
-// `ping`, `shutdown`. --restore resumes from a `snapshot` pair instead of
-// re-mining from scratch.
+// containment), `snapshot` (state_io v2 checkpoint), `metrics`, `health`,
+// `dump` (flight recorder), `sync`, `ping`, `shutdown`. --restore resumes
+// from a `snapshot` pair instead of re-mining from scratch.
+//
+// Observability (DESIGN.md section 13):
+//  - --trace=PATH records Chrome trace-event spans (request lifecycle +
+//    batcher rounds) and writes them on clean shutdown.
+//  - --slow-ms=MS logs requests slower than MS and leaves flight events.
+//  - --flight-dump=PATH dumps the flight recorder there on SIGSEGV/SIGABRT
+//    and on clean shutdown (stderr when no path is given at crash time).
 //
 // Fault SPECs (testing): once:N (fail the (N+1)-th op), n:START:COUNT, or
 // p:PROB — scripted/probabilistic storage faults on the resident snapshot
 // and admission paths; see DESIGN.md section 12.5.
 
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstring>
 #include <iostream>
-#include <map>
 #include <memory>
 #include <string>
 
+#include "common/flags.h"
 #include "common/parse.h"
 #include "core/part_miner.h"
 #include "graph/graph_io.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/daemon.h"
 #include "service/session.h"
 #include "storage/fault_injector.h"
@@ -39,30 +54,32 @@ namespace {
 
 using namespace partminer;
 
-std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
-  std::map<std::string, std::string> flags;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) {
-      std::fprintf(stderr, "warning: ignoring stray argument '%s'\n",
-                   arg.c_str());
-      continue;
-    }
-    arg = arg.substr(2);
-    const size_t eq = arg.find('=');
-    if (eq == std::string::npos) {
-      flags[arg] = "1";
-    } else {
-      flags[arg.substr(0, eq)] = arg.substr(eq + 1);
-    }
+/// Fixed at startup so the crash handler never touches std::string. Empty
+/// means "dump to stderr".
+char g_flight_dump_path[512] = {0};
+
+/// Async-signal-safe post-mortem: on SIGSEGV/SIGABRT dump the flight
+/// recorder (write(2)-only path, no allocation), then re-raise with the
+/// default disposition so the process still dies with the original signal.
+void CrashDumpHandler(int sig) {
+  int fd = STDERR_FILENO;
+  if (g_flight_dump_path[0] != '\0') {
+    const int out =
+        ::open(g_flight_dump_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (out >= 0) fd = out;
   }
-  return flags;
+  obs::FlightRecorder::Global().DumpToFd(fd);
+  if (fd != STDERR_FILENO) ::close(fd);
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
 }
 
-std::string Get(const std::map<std::string, std::string>& flags,
-                const std::string& key, const std::string& fallback) {
-  const auto it = flags.find(key);
-  return it == flags.end() ? fallback : it->second;
+void InstallCrashDumpHandlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = CrashDumpHandler;
+  ::sigaction(SIGSEGV, &sa, nullptr);
+  ::sigaction(SIGABRT, &sa, nullptr);
 }
 
 int Usage() {
@@ -71,27 +88,11 @@ int Usage() {
       "usage: partminerd (--input=db.lg | --restore=prefix) "
       "(--socket=path | --stdio) [--support=0.05] [--k=2] [--threads=N] "
       "[--queue-cap=4096] [--batch-max=256] [--snapshot-prefix=path] "
-      "[--num-labels=20] [--metrics=out.json] "
+      "[--num-labels=20] [--metrics=out.json] [--trace=out.json] "
+      "[--slow-ms=MS] [--flight-dump=out.json] "
       "[--fault-read|--fault-write|--fault-alloc=once:N|n:S:C|p:P] "
       "[--fault-seed=S]\n");
   return 2;
-}
-
-/// Validated numeric flag: exits with a usage error on garbage like
-/// --threads=eight instead of silently mining with the default.
-bool IntFlag(const std::map<std::string, std::string>& flags,
-             const std::string& key, int fallback, int* out) {
-  const std::string raw = Get(flags, key, "");
-  if (raw.empty()) {
-    *out = fallback;
-    return true;
-  }
-  if (!ParseInt32(raw, out)) {
-    std::fprintf(stderr, "error: --%s=%s is not an integer\n", key.c_str(),
-                 raw.c_str());
-    return false;
-  }
-  return true;
 }
 
 bool ArmFault(FaultInjector* injector, FaultInjector::Op op,
@@ -131,26 +132,18 @@ bool ArmFault(FaultInjector* injector, FaultInjector::Op op,
 }
 
 int Main(int argc, char** argv) {
-  const auto flags = ParseFlags(argc, argv);
-  for (const auto& [key, value] : flags) {
-    (void)value;
-    static const char* known[] = {
-        "input",      "restore",   "socket",          "stdio",
-        "support",    "k",         "threads",         "queue-cap",
-        "batch-max",  "snapshot-prefix", "num-labels", "metrics",
-        "fault-read", "fault-write", "fault-alloc",   "fault-seed"};
-    bool recognized = false;
-    for (const char* k : known) recognized = recognized || key == k;
-    if (!recognized) {
-      std::fprintf(stderr, "warning: unrecognized flag --%s (ignored)\n",
-                   key.c_str());
-    }
-  }
+  const flags::FlagMap flag_map = flags::Parse(argc, argv);
+  flags::WarnUnknown(flag_map,
+                     {"input", "restore", "socket", "stdio", "support", "k",
+                      "threads", "queue-cap", "batch-max", "snapshot-prefix",
+                      "num-labels", "metrics", "trace", "slow-ms",
+                      "flight-dump", "fault-read", "fault-write",
+                      "fault-alloc", "fault-seed"});
 
-  const std::string input = Get(flags, "input", "");
-  const std::string restore = Get(flags, "restore", "");
-  const std::string socket_path = Get(flags, "socket", "");
-  const bool stdio = flags.count("stdio") > 0;
+  const std::string input = flags::Get(flag_map, "input", "");
+  const std::string restore = flags::Get(flag_map, "restore", "");
+  const std::string socket_path = flags::Get(flag_map, "socket", "");
+  const bool stdio = flag_map.count("stdio") > 0;
   if ((input.empty() == restore.empty()) ||
       (socket_path.empty() && !stdio)) {
     return Usage();
@@ -158,20 +151,33 @@ int Main(int argc, char** argv) {
 
   int k = 2, threads = 0, queue_cap = 4096, batch_max = 256, num_labels = 20;
   int fault_seed = 1;
-  if (!IntFlag(flags, "k", 2, &k) || !IntFlag(flags, "threads", 0, &threads) ||
-      !IntFlag(flags, "queue-cap", 4096, &queue_cap) ||
-      !IntFlag(flags, "batch-max", 256, &batch_max) ||
-      !IntFlag(flags, "num-labels", 20, &num_labels) ||
-      !IntFlag(flags, "fault-seed", 1, &fault_seed)) {
+  double support = 0.05, slow_ms = 0;
+  if (!flags::IntFlag(flag_map, "k", 2, &k) ||
+      !flags::IntFlag(flag_map, "threads", 0, &threads) ||
+      !flags::IntFlag(flag_map, "queue-cap", 4096, &queue_cap) ||
+      !flags::IntFlag(flag_map, "batch-max", 256, &batch_max) ||
+      !flags::IntFlag(flag_map, "num-labels", 20, &num_labels) ||
+      !flags::IntFlag(flag_map, "fault-seed", 1, &fault_seed) ||
+      !flags::DoubleFlag(flag_map, "support", 0.05, &support) ||
+      !flags::DoubleFlag(flag_map, "slow-ms", 0, &slow_ms)) {
     return Usage();
   }
-  const std::string support_raw = Get(flags, "support", "0.05");
-  double support = 0;
-  if (!ParseDouble(support_raw, &support) || support <= 0) {
-    std::fprintf(stderr, "error: --support=%s must be a positive number\n",
-                 support_raw.c_str());
+  if (support <= 0) {
+    std::fprintf(stderr, "error: --support must be a positive number\n");
     return Usage();
   }
+
+  const std::string flight_dump = flags::Get(flag_map, "flight-dump", "");
+  if (flight_dump.size() + 1 > sizeof(g_flight_dump_path)) {
+    std::fprintf(stderr, "error: --flight-dump path too long\n");
+    return Usage();
+  }
+  std::memcpy(g_flight_dump_path, flight_dump.c_str(),
+              flight_dump.size() + 1);
+  InstallCrashDumpHandlers();
+
+  const std::string trace_path = flags::Get(flag_map, "trace", "");
+  if (!trace_path.empty()) obs::Tracer::Global().Start();
 
   service::SessionOptions session_options;
   session_options.num_labels = num_labels;
@@ -187,16 +193,16 @@ int Main(int argc, char** argv) {
   service::MinerSession session(session_options);
   FaultInjector injector(static_cast<uint64_t>(fault_seed));
   const bool faults =
-      flags.count("fault-read") + flags.count("fault-write") +
-          flags.count("fault-alloc") >
+      flag_map.count("fault-read") + flag_map.count("fault-write") +
+          flag_map.count("fault-alloc") >
       0;
   if (faults) {
     if (!ArmFault(&injector, FaultInjector::Op::kRead, "fault-read",
-                  Get(flags, "fault-read", "")) ||
+                  flags::Get(flag_map, "fault-read", "")) ||
         !ArmFault(&injector, FaultInjector::Op::kWrite, "fault-write",
-                  Get(flags, "fault-write", "")) ||
+                  flags::Get(flag_map, "fault-write", "")) ||
         !ArmFault(&injector, FaultInjector::Op::kAlloc, "fault-alloc",
-                  Get(flags, "fault-alloc", ""))) {
+                  flags::Get(flag_map, "fault-alloc", ""))) {
       return Usage();
     }
     session.set_fault_injector(&injector);
@@ -223,7 +229,8 @@ int Main(int argc, char** argv) {
   service::DaemonOptions daemon_options;
   daemon_options.queue_cap_edits = queue_cap;
   daemon_options.batch_max_edits = batch_max;
-  daemon_options.snapshot_prefix = Get(flags, "snapshot-prefix", "");
+  daemon_options.snapshot_prefix = flags::Get(flag_map, "snapshot-prefix", "");
+  daemon_options.slow_ms = slow_ms;
   service::Daemon daemon(&session, daemon_options);
 
   if (stdio) {
@@ -238,10 +245,26 @@ int Main(int argc, char** argv) {
     }
   }
 
-  const std::string metrics_path = Get(flags, "metrics", "");
+  const std::string metrics_path = flags::Get(flag_map, "metrics", "");
   if (!metrics_path.empty() &&
       !obs::MetricRegistry::Global().WriteJsonFile(metrics_path)) {
     return 1;
+  }
+  if (!trace_path.empty()) {
+    obs::Tracer::Global().Stop();
+    if (!obs::Tracer::Global().WriteChromeTraceFile(trace_path)) return 1;
+  }
+  if (!flight_dump.empty()) {
+    // Clean-shutdown dump reuses the crash path's writer so the file format
+    // is identical either way.
+    const int fd = ::open(flight_dump.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+      std::fprintf(stderr, "error: cannot write %s\n", flight_dump.c_str());
+      return 1;
+    }
+    obs::FlightRecorder::Global().DumpToFd(fd);
+    ::close(fd);
   }
   std::fprintf(stderr, "partminerd: bye (epoch %llu)\n",
                static_cast<unsigned long long>(session.epoch()));
