@@ -40,13 +40,14 @@ constexpr Criteria kCriteria[] = {
     {"Partition3", PartitionCriteria::kCombined},
 };
 
-void RunStatic(const WorkloadSpec& spec, int k, int io_delay_us) {
+void RunStatic(const WorkloadSpec& spec, int k, int io_delay_us,
+               const PoolSizing& pool) {
   for (const double sup : kSupports) {
     GraphDatabase db = MakeWorkload(spec);
 
     AdiMineOptions adi_opts;
     adi_opts.io_delay_us = io_delay_us;
-    adi_opts.buffer_frames = 32;  // Pool smaller than the page file.
+    adi_opts.pool = pool;
     AdiMine adi(adi_opts);
     Stopwatch adi_watch;
     adi.BuildIndex(db);
@@ -69,7 +70,7 @@ void RunStatic(const WorkloadSpec& spec, int k, int io_delay_us) {
 }
 
 void RunDynamic(const WorkloadSpec& spec, int k, double update_fraction,
-                int io_delay_us) {
+                int io_delay_us, const PoolSizing& pool) {
   for (const double sup : kSupports) {
     for (const Criteria& c : kCriteria) {
       GraphDatabase db = MakeWorkload(spec);
@@ -95,7 +96,7 @@ void RunDynamic(const WorkloadSpec& spec, int k, double update_fraction,
     GraphDatabase db = MakeWorkload(spec);
     AdiMineOptions adi_opts;
     adi_opts.io_delay_us = io_delay_us;
-    adi_opts.buffer_frames = 32;  // Pool smaller than the page file.
+    adi_opts.pool = pool;
     AdiMine adi(adi_opts);
     adi.BuildIndex(db);
     UpdateOptions upd;
@@ -125,15 +126,19 @@ int main(int argc, char** argv) {
   const int k = flags.GetInt("k", 4);
   const double update_fraction = flags.GetDouble("update-fraction", 0.1);
   const int io_delay_us = flags.GetInt("io-delay-us", 1000);
+  // 32 frames: pool smaller than the page file, so ADI runs pay eviction.
+  const partminer::PoolSizing pool = PoolSizingFromFlags(flags, 32);
   const std::string mode = flags.GetString("mode", "both");
 
   PrintHeader("fig13",
               "partitioning criteria (paper Fig. 13: GraphPart beats METIS; "
               "Partition2 best statically, Partition3 best dynamically)",
               spec.Tag());
-  if (mode == "static" || mode == "both") RunStatic(spec, k, io_delay_us);
+  if (mode == "static" || mode == "both") {
+    RunStatic(spec, k, io_delay_us, pool);
+  }
   if (mode == "dynamic" || mode == "both") {
-    RunDynamic(spec, k, update_fraction, io_delay_us);
+    RunDynamic(spec, k, update_fraction, io_delay_us, pool);
   }
   MaybeWriteMetrics(flags, "fig13");
   return 0;

@@ -25,13 +25,14 @@ namespace {
 
 constexpr double kSupports[] = {0.01, 0.02, 0.03, 0.04, 0.05, 0.06};
 
-void RunStatic(const WorkloadSpec& spec, int k, int io_delay_us) {
+void RunStatic(const WorkloadSpec& spec, int k, int io_delay_us,
+               const PoolSizing& pool) {
   for (const double sup : kSupports) {
     GraphDatabase db = MakeWorkload(spec);
 
     AdiMineOptions adi_opts;
     adi_opts.io_delay_us = io_delay_us;
-    adi_opts.buffer_frames = 32;  // Pool smaller than the page file.
+    adi_opts.pool = pool;
     AdiMine adi(adi_opts);
     Stopwatch adi_watch;
     adi.BuildIndex(db);
@@ -51,7 +52,7 @@ void RunStatic(const WorkloadSpec& spec, int k, int io_delay_us) {
 }
 
 void RunDynamic(const WorkloadSpec& spec, int k, double update_fraction,
-                int io_delay_us) {
+                int io_delay_us, const PoolSizing& pool) {
   for (const double sup : kSupports) {
     GraphDatabase db = MakeWorkload(spec);
 
@@ -64,7 +65,7 @@ void RunDynamic(const WorkloadSpec& spec, int k, double update_fraction,
 
     AdiMineOptions adi_opts;
     adi_opts.io_delay_us = io_delay_us;
-    adi_opts.buffer_frames = 32;  // Pool smaller than the page file.
+    adi_opts.pool = pool;
     AdiMine adi(adi_opts);
     adi.BuildIndex(db);
 
@@ -107,15 +108,19 @@ int main(int argc, char** argv) {
   const int k = flags.GetInt("k", 2);
   const double update_fraction = flags.GetDouble("update-fraction", 0.1);
   const int io_delay_us = flags.GetInt("io-delay-us", 1000);
+  // 32 frames: pool smaller than the page file, so ADI runs pay eviction.
+  const partminer::PoolSizing pool = PoolSizingFromFlags(flags, 32);
   const std::string mode = flags.GetString("mode", "both");
 
   PrintHeader("fig14",
               "runtime vs minimum support (paper Fig. 14: PartMiner ~ "
               "ADIMINE statically, IncPartMiner dominates dynamically)",
               spec.Tag());
-  if (mode == "static" || mode == "both") RunStatic(spec, k, io_delay_us);
+  if (mode == "static" || mode == "both") {
+    RunStatic(spec, k, io_delay_us, pool);
+  }
   if (mode == "dynamic" || mode == "both") {
-    RunDynamic(spec, k, update_fraction, io_delay_us);
+    RunDynamic(spec, k, update_fraction, io_delay_us, pool);
   }
   MaybeWriteMetrics(flags, "fig14");
   return 0;

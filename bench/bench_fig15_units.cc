@@ -27,10 +27,10 @@ namespace bench {
 namespace {
 
 double AdiSeconds(const GraphDatabase& db, double sup, int io_delay_us,
-                  bool rebuild_only) {
+                  const PoolSizing& pool, bool rebuild_only) {
   AdiMineOptions adi_opts;
   adi_opts.io_delay_us = io_delay_us;
-  adi_opts.buffer_frames = 32;  // Pool smaller than the page file.
+  adi_opts.pool = pool;
   AdiMine adi(adi_opts);
   if (rebuild_only) {
     // Model the dynamic case: the pre-update index already exists; timing
@@ -46,9 +46,11 @@ double AdiSeconds(const GraphDatabase& db, double sup, int io_delay_us,
   return watch.ElapsedSeconds();
 }
 
-void RunStatic(const WorkloadSpec& spec, double sup, int io_delay_us) {
+void RunStatic(const WorkloadSpec& spec, double sup, int io_delay_us,
+               const PoolSizing& pool) {
   GraphDatabase db = MakeWorkload(spec);
-  const double adi_seconds = AdiSeconds(db, sup, io_delay_us, false);
+  const double adi_seconds =
+      AdiSeconds(db, sup, io_delay_us, pool, false);
   for (int k = 2; k <= 6; ++k) {
     PrintRow("fig15a", "ADIMINE", k, adi_seconds);
     PartMinerOptions options;
@@ -62,7 +64,7 @@ void RunStatic(const WorkloadSpec& spec, double sup, int io_delay_us) {
 }
 
 void RunDynamic(const WorkloadSpec& spec, double sup, double update_fraction,
-                int io_delay_us) {
+                int io_delay_us, const PoolSizing& pool) {
   for (int k = 2; k <= 6; ++k) {
     GraphDatabase db = MakeWorkload(spec);
     PartMinerOptions options;
@@ -78,7 +80,7 @@ void RunDynamic(const WorkloadSpec& spec, double sup, double update_fraction,
     const UpdateLog log = ApplyUpdates(&db, spec.n, upd);
 
     PrintRow("fig15b", "ADIMINE", k,
-             AdiSeconds(db, sup, io_delay_us, true));
+             AdiSeconds(db, sup, io_delay_us, pool, true));
 
     IncPartMiner inc;
     const IncPartMinerResult result = inc.Update(&miner, db, log);
@@ -101,15 +103,19 @@ int main(int argc, char** argv) {
   const double sup = flags.GetDouble("sup", 0.04);
   const double update_fraction = flags.GetDouble("update-fraction", 0.4);
   const int io_delay_us = flags.GetInt("io-delay-us", 1000);
+  // 32 frames: pool smaller than the page file, so ADI runs pay eviction.
+  const partminer::PoolSizing pool = PoolSizingFromFlags(flags, 32);
   const std::string mode = flags.GetString("mode", "both");
 
   PrintHeader("fig15",
               "runtime vs number of units k (paper Fig. 15: aggregate grows "
               "with k, parallel time stays low)",
               spec.Tag());
-  if (mode == "static" || mode == "both") RunStatic(spec, sup, io_delay_us);
+  if (mode == "static" || mode == "both") {
+    RunStatic(spec, sup, io_delay_us, pool);
+  }
   if (mode == "dynamic" || mode == "both") {
-    RunDynamic(spec, sup, update_fraction, io_delay_us);
+    RunDynamic(spec, sup, update_fraction, io_delay_us, pool);
   }
   MaybeWriteMetrics(flags, "fig15");
   return 0;

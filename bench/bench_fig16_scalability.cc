@@ -25,12 +25,13 @@ namespace bench {
 namespace {
 
 void RunPoint(const char* figure, double x, const WorkloadSpec& spec,
-              double sup, int k, int io_delay_us, int threads) {
+              double sup, int k, int io_delay_us, int threads,
+              const PoolSizing& pool) {
   GraphDatabase db = MakeWorkload(spec);
 
   AdiMineOptions adi_opts;
   adi_opts.io_delay_us = io_delay_us;
-  adi_opts.buffer_frames = 32;  // Pool smaller than the page file.
+  adi_opts.pool = pool;
   AdiMine adi(adi_opts);
   Stopwatch adi_watch;
   adi.BuildIndex(db);
@@ -62,6 +63,8 @@ int main(int argc, char** argv) {
   const int k = flags.GetInt("k", 2);
   const int io_delay_us = flags.GetInt("io-delay-us", 1000);
   const int threads = flags.GetInt("threads", 0);
+  // 32 frames: pool smaller than the page file, so ADI runs pay eviction.
+  const partminer::PoolSizing pool = PoolSizingFromFlags(flags, 32);
   const std::string axis = flags.GetString("axis", "both");
 
   PrintHeader("fig16",
@@ -73,7 +76,7 @@ int main(int argc, char** argv) {
     for (const int t : {10, 15, 20, 25}) {
       WorkloadSpec spec = base;
       spec.t = t;
-      RunPoint("fig16a", t, spec, sup, k, io_delay_us, threads);
+      RunPoint("fig16a", t, spec, sup, k, io_delay_us, threads, pool);
     }
   }
   if (axis == "D" || axis == "both") {
@@ -82,7 +85,8 @@ int main(int argc, char** argv) {
       WorkloadSpec spec = base;
       spec.d = base.d * d_factor / 2;
       spec.l = std::max(3, base.l * d_factor / 2);
-      RunPoint("fig16b", spec.d, spec, sup, k, io_delay_us, threads);
+      RunPoint("fig16b", spec.d, spec, sup, k, io_delay_us, threads,
+               pool);
     }
   }
   MaybeWriteMetrics(flags, "fig16");

@@ -30,7 +30,8 @@ namespace bench {
 namespace {
 
 void RunSweep(const char* figure, const WorkloadSpec& spec, double sup,
-              int k, int io_delay_us, std::vector<UpdateKind> kinds) {
+              int k, int io_delay_us, const PoolSizing& pool,
+              std::vector<UpdateKind> kinds) {
   for (const double fraction : {0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8}) {
     GraphDatabase db = MakeWorkload(spec);
     PartMinerOptions options;
@@ -41,7 +42,7 @@ void RunSweep(const char* figure, const WorkloadSpec& spec, double sup,
 
     AdiMineOptions adi_opts;
     adi_opts.io_delay_us = io_delay_us;
-    adi_opts.buffer_frames = 32;  // Pool smaller than the page file.
+    adi_opts.pool = pool;
     AdiMine adi(adi_opts);
     adi.BuildIndex(db);
 
@@ -90,6 +91,8 @@ int main(int argc, char** argv) {
   const double sup = flags.GetDouble("sup", 0.04);
   const int k = flags.GetInt("k", 2);
   const int io_delay_us = flags.GetInt("io-delay-us", 1000);
+  // 32 frames: pool smaller than the page file, so ADI runs pay eviction.
+  const partminer::PoolSizing pool = PoolSizingFromFlags(flags, 32);
   const std::string kind = flags.GetString("kind", "both");
 
   PrintHeader("fig17",
@@ -97,10 +100,11 @@ int main(int argc, char** argv) {
               "below ADIMINE across 20%-80% updates)",
               spec.Tag());
   if (kind == "relabel" || kind == "both") {
-    RunSweep("fig17a", spec, sup, k, io_delay_us, {UpdateKind::kRelabel});
+    RunSweep("fig17a", spec, sup, k, io_delay_us, pool,
+             {UpdateKind::kRelabel});
   }
   if (kind == "add" || kind == "both") {
-    RunSweep("fig17b", spec, sup, k, io_delay_us,
+    RunSweep("fig17b", spec, sup, k, io_delay_us, pool,
              {UpdateKind::kAddEdge, UpdateKind::kAddVertex});
   }
   MaybeWriteMetrics(flags, "fig17");

@@ -1,0 +1,315 @@
+// Microbenchmarks for the buffer managers: classic sharded-LRU BufferPool
+// vs the LeanStore-style SwizzlePool.
+//
+//   hot_hit         resident working set, repeated fetches — the pointer-
+//                   swizzling hot path vs mutex + hash lookup. The headline
+//                   number: swizzle must be >= 3x faster single-threaded.
+//   cold_miss       working set >> pool, uniform random fetches — both
+//                   engines pay the same disk reads; measures slow-path
+//                   overhead (victim selection, cooling sweep).
+//   eviction_storm  write-heavy overwrite stream through a small pool —
+//                   classic vs swizzle synchronous vs swizzle with async
+//                   writer threads overlapping the write-back.
+//   scale_read      read-only hot fetches at 1/2/4/8 threads. The record
+//                   stamps `cores`; on a 1-core box the extra threads
+//                   time-slice and the numbers say so honestly.
+//
+// Flags: --ops (hot-path fetches, default 200000), --miss-ops, --storm-ops,
+//        --scale-ops (per-thread), --pool-frames/--pool-partitions/
+//        --writer-threads/--writeback-queue (shared spelling, default 64
+//        frames), --out=FILE to write the BENCH_*.json record.
+//
+// CSV rows (figure "storage") go to stdout for eyeballing; the *_ms blocks
+// in the JSON record are what tools/bench_compare.py gates.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/random.h"
+#include "common/timing.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/swizzle_pool.h"
+
+namespace partminer {
+namespace bench {
+namespace {
+
+std::string TempPath(const char* tag) {
+  return std::string("/tmp/partminer_bench_storage_") + tag + "_" +
+         std::to_string(::getpid());
+}
+
+// Consumed checksum so the fetch loops cannot be optimized away.
+std::atomic<uint64_t> g_sink{0};
+
+void MustOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench_micro_storage: %s: %s\n", what,
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+std::vector<PageId> Populate(DiskManager* disk, int pages) {
+  std::vector<PageId> ids;
+  ids.reserve(pages);
+  char buf[kPageSize];
+  for (int i = 0; i < pages; ++i) {
+    PageId id = kInvalidPageId;
+    MustOk(disk->Allocate(&id), "allocate");
+    std::memset(buf, static_cast<char>(i), kPageSize);
+    MustOk(disk->WritePage(id, buf), "populate write");
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+// One reader thread's fetch loop; `thread_seed` decorrelates the streams.
+template <typename FetchFn>
+void ReadLoop(const std::vector<PageId>& ids, int ops, uint64_t thread_seed,
+              const FetchFn& fetch) {
+  Rng rng(thread_seed);
+  uint64_t sink = 0;
+  for (int op = 0; op < ops; ++op) {
+    sink += fetch(ids[rng.Uniform(ids.size())]);
+  }
+  g_sink.fetch_add(sink, std::memory_order_relaxed);
+}
+
+double TimeClassicReads(BufferPool* pool, const std::vector<PageId>& ids,
+                        int threads, int ops_per_thread) {
+  const auto fetch = [pool](PageId id) -> uint64_t {
+    char* data = nullptr;
+    MustOk(pool->Fetch(id, &data), "classic fetch");
+    const uint64_t byte = static_cast<uint8_t>(data[0]);
+    pool->Unpin(id, /*dirty=*/false);
+    return byte;
+  };
+  Stopwatch watch;
+  if (threads <= 1) {
+    ReadLoop(ids, ops_per_thread, 1, fetch);
+  } else {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back(
+          [&, t]() { ReadLoop(ids, ops_per_thread, 1 + t, fetch); });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  return watch.ElapsedMillis();
+}
+
+double TimeSwizzleReads(SwizzlePool* pool, const std::vector<PageId>& ids,
+                        int threads, int ops_per_thread) {
+  const auto fetch = [pool](PageId id) -> uint64_t {
+    PageGuard guard;
+    MustOk(pool->Fetch(id, &guard), "swizzle fetch");
+    return static_cast<uint8_t>(guard.data()[0]);
+  };
+  Stopwatch watch;
+  if (threads <= 1) {
+    ReadLoop(ids, ops_per_thread, 1, fetch);
+  } else {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back(
+          [&, t]() { ReadLoop(ids, ops_per_thread, 1 + t, fetch); });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  return watch.ElapsedMillis();
+}
+
+// Overwrite stream: repeatedly rewrite random pages of a working set larger
+// than the pool, so every miss evicts a dirty victim.
+double TimeClassicStorm(BufferPool* pool, const std::vector<PageId>& ids,
+                        int ops) {
+  Rng rng(7);
+  Stopwatch watch;
+  for (int op = 0; op < ops; ++op) {
+    const PageId id = ids[rng.Uniform(ids.size())];
+    char* data = nullptr;
+    MustOk(pool->Fetch(id, &data), "classic storm fetch");
+    data[op % kPageSize] = static_cast<char>(op);
+    pool->Unpin(id, /*dirty=*/true);
+  }
+  MustOk(pool->FlushAll(), "classic storm flush");
+  return watch.ElapsedMillis();
+}
+
+double TimeSwizzleStorm(SwizzlePool* pool, const std::vector<PageId>& ids,
+                        int ops) {
+  Rng rng(7);
+  Stopwatch watch;
+  for (int op = 0; op < ops; ++op) {
+    const PageId id = ids[rng.Uniform(ids.size())];
+    PageMutGuard guard;
+    MustOk(pool->FetchMut(id, &guard), "swizzle storm fetch");
+    guard.data()[op % kPageSize] = static_cast<char>(op);
+  }
+  MustOk(pool->FlushAll(), "swizzle storm flush");
+  return watch.ElapsedMillis();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace partminer
+
+int main(int argc, char** argv) {
+  using namespace partminer::bench;
+  using partminer::BufferPool;
+  using partminer::DiskManager;
+  using partminer::PageId;
+  using partminer::PoolSizing;
+  using partminer::StorageEngine;
+  using partminer::SwizzlePool;
+
+  const Flags flags(argc, argv);
+  const int hot_ops = flags.GetInt("ops", 200000);
+  const int miss_ops = flags.GetInt("miss-ops", 20000);
+  const int storm_ops = flags.GetInt("storm-ops", 20000);
+  const int scale_ops = flags.GetInt("scale-ops", 100000);
+  const std::string out = flags.GetString("out", "");
+  PoolSizing sizing = PoolSizingFromFlags(flags, 64);
+  constexpr int kScaleThreads[] = {1, 2, 4, 8};
+
+  PrintHeader("storage",
+              "buffer-manager microbenchmarks (classic LRU pool vs "
+              "LeanStore-style swizzle pool)",
+              "frames=" + std::to_string(sizing.frames));
+  BenchRecord record("micro-storage", /*threads=*/8);
+  record.Note("engine_hot_path", "swip load + pin + version validate");
+  record.Metric("pool_frames", sizing.frames);
+  record.Metric("pool_partitions", sizing.partitions);
+
+  // --- hot_hit: working set fits; every fetch after warmup is a hit. ---
+  {
+    DiskManager disk;
+    MustOk(disk.Open(TempPath("hot")), "open");
+    const std::vector<PageId> ids = Populate(&disk, sizing.frames / 2);
+
+    // Best of 5 reps: scheduler noise on a shared box only ever inflates a
+    // rep, so the minimum is the honest per-op cost for both engines.
+    BufferPool classic(&disk, sizing.frames, sizing.partitions);
+    TimeClassicReads(&classic, ids, 1, static_cast<int>(ids.size()));  // warm
+    double classic_ms = TimeClassicReads(&classic, ids, 1, hot_ops);
+    for (int rep = 1; rep < 5; ++rep) {
+      classic_ms = std::min(classic_ms,
+                            TimeClassicReads(&classic, ids, 1, hot_ops));
+    }
+
+    SwizzlePool swizzle(&disk, sizing);
+    TimeSwizzleReads(&swizzle, ids, 1, static_cast<int>(ids.size()));  // warm
+    double swizzle_ms = TimeSwizzleReads(&swizzle, ids, 1, hot_ops);
+    for (int rep = 1; rep < 5; ++rep) {
+      swizzle_ms = std::min(swizzle_ms,
+                            TimeSwizzleReads(&swizzle, ids, 1, hot_ops));
+    }
+
+    PrintRow("storage", "hot_hit_classic", hot_ops, classic_ms);
+    PrintRow("storage", "hot_hit_swizzle", hot_ops, swizzle_ms);
+    record.Ms("hot_hit", "classic", classic_ms);
+    record.Ms("hot_hit", "swizzle", swizzle_ms);
+    const double speedup = swizzle_ms > 0 ? classic_ms / swizzle_ms : 0;
+    record.Metric("hot_hit_speedup", speedup);
+    std::printf("# hot_hit speedup: %.2fx (acceptance floor 3x)\n", speedup);
+  }
+
+  // --- cold_miss: working set 8x the pool; fetches are mostly misses. ---
+  {
+    DiskManager disk;
+    MustOk(disk.Open(TempPath("cold")), "open");
+    const std::vector<PageId> ids = Populate(&disk, sizing.frames * 8);
+
+    BufferPool classic(&disk, sizing.frames, sizing.partitions);
+    const double classic_ms = TimeClassicReads(&classic, ids, 1, miss_ops);
+
+    SwizzlePool swizzle(&disk, sizing);
+    const double swizzle_ms = TimeSwizzleReads(&swizzle, ids, 1, miss_ops);
+
+    PrintRow("storage", "cold_miss_classic", miss_ops, classic_ms);
+    PrintRow("storage", "cold_miss_swizzle", miss_ops, swizzle_ms);
+    record.Ms("cold_miss", "classic", classic_ms);
+    record.Ms("cold_miss", "swizzle", swizzle_ms);
+  }
+
+  // --- eviction_storm: dirty overwrites through a too-small pool. ---
+  {
+    DiskManager disk;
+    MustOk(disk.Open(TempPath("storm")), "open");
+    const std::vector<PageId> ids = Populate(&disk, sizing.frames * 4);
+
+    BufferPool classic(&disk, sizing.frames, sizing.partitions);
+    const double classic_ms = TimeClassicStorm(&classic, ids, storm_ops);
+
+    SwizzlePool sync_pool(&disk, sizing);
+    const double sync_ms = TimeSwizzleStorm(&sync_pool, ids, storm_ops);
+
+    PoolSizing async_sizing = sizing;
+    async_sizing.writer_threads =
+        async_sizing.writer_threads > 0 ? async_sizing.writer_threads : 2;
+    SwizzlePool async_pool(&disk, async_sizing);
+    const double async_ms = TimeSwizzleStorm(&async_pool, ids, storm_ops);
+
+    PrintRow("storage", "storm_classic", storm_ops, classic_ms);
+    PrintRow("storage", "storm_swizzle_sync", storm_ops, sync_ms);
+    PrintRow("storage", "storm_swizzle_async", storm_ops, async_ms);
+    record.Ms("eviction_storm", "classic", classic_ms);
+    record.Ms("eviction_storm", "swizzle_sync", sync_ms);
+    record.Ms("eviction_storm", "swizzle_async", async_ms);
+    record.Metric("storm_writer_threads", async_sizing.writer_threads);
+    if (async_ms > sync_ms) {
+      record.Note("storm_async_note",
+                  "async write-back slower than sync here: writer threads "
+                  "time-slice against the evictor when cores <= threads");
+    }
+  }
+
+  // --- scale_read: hot fetches at 1/2/4/8 threads, same total work per
+  // point (ops * threads), so the y-axis is wall time for more total work
+  // done concurrently. Read the numbers next to `cores`.
+  {
+    DiskManager disk;
+    MustOk(disk.Open(TempPath("scale")), "open");
+    const std::vector<PageId> ids = Populate(&disk, sizing.frames / 2);
+
+    BufferPool classic(&disk, sizing.frames, sizing.partitions);
+    SwizzlePool swizzle(&disk, sizing);
+    TimeClassicReads(&classic, ids, 1, static_cast<int>(ids.size()));  // warm
+    TimeSwizzleReads(&swizzle, ids, 1, static_cast<int>(ids.size()));  // warm
+    for (const int threads : kScaleThreads) {
+      const double classic_ms =
+          TimeClassicReads(&classic, ids, threads, scale_ops);
+      const double swizzle_ms =
+          TimeSwizzleReads(&swizzle, ids, threads, scale_ops);
+      PrintRow("storage", "scale_classic_t" + std::to_string(threads),
+               threads, classic_ms);
+      PrintRow("storage", "scale_swizzle_t" + std::to_string(threads),
+               threads, swizzle_ms);
+      record.Ms("scale_read", "classic_t" + std::to_string(threads),
+                classic_ms);
+      record.Ms("scale_read", "swizzle_t" + std::to_string(threads),
+                swizzle_ms);
+    }
+  }
+
+  std::printf("# checksum %llu\n",
+              static_cast<unsigned long long>(
+                  g_sink.load(std::memory_order_relaxed)));
+  if (!out.empty()) {
+    if (!record.WriteFile(out)) {
+      std::fprintf(stderr, "bench_micro_storage: cannot write %s\n",
+                   out.c_str());
+      return 1;
+    }
+    std::printf("# wrote %s\n", out.c_str());
+  }
+  return 0;
+}

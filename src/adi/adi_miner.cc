@@ -23,14 +23,20 @@ std::string UniqueTempPath() {
 
 }  // namespace
 
-AdiMine::AdiMine(const AdiMineOptions& options) {
+AdiMine::AdiMine(const AdiMineOptions& options)
+    : engine_(options.pool.engine) {
   const std::string path =
       options.file_path.empty() ? UniqueTempPath() : options.file_path;
   PM_CHECK(disk_.Open(path).ok()) << "cannot open ADI page file " << path;
   disk_.set_simulated_latency_us(options.io_delay_us);
-  pool_ = std::make_unique<BufferPool>(&disk_, options.buffer_frames,
-                                       options.buffer_shards);
-  index_ = std::make_unique<AdiIndex>(pool_.get());
+  if (engine_ == StorageEngine::kSwizzle) {
+    swizzle_pool_ = std::make_unique<SwizzlePool>(&disk_, options.pool);
+    index_ = std::make_unique<AdiIndex>(swizzle_pool_.get());
+  } else {
+    classic_pool_ = std::make_unique<BufferPool>(&disk_, options.pool.frames,
+                                                 options.pool.partitions);
+    index_ = std::make_unique<AdiIndex>(classic_pool_.get());
+  }
 }
 
 AdiMine::~AdiMine() = default;
@@ -41,7 +47,11 @@ Status AdiMine::BuildIndex(const GraphDatabase& db) {
   // A failed build leaves a partially written index; refuse to mine it
   // until a later rebuild succeeds.
   built_ = false;
-  pool_->Clear();
+  if (swizzle_pool_ != nullptr) {
+    swizzle_pool_->Clear();
+  } else {
+    classic_pool_->Clear();
+  }
   PARTMINER_RETURN_IF_ERROR_CTX(disk_.Reset(), "resetting page file");
   PARTMINER_RETURN_IF_ERROR_CTX(index_->Build(db), "building ADI index");
   built_ = true;
@@ -80,6 +90,7 @@ Status AdiMine::Mine(const MinerOptions& options, PatternSet* out) {
     }
   }
   last_scan_seconds_ = scan_watch.ElapsedSeconds();
+  if (swizzle_pool_ != nullptr) swizzle_pool_->PublishMetrics();
 
   GSpanMiner miner;
   *out = miner.Mine(decoded, options);
@@ -91,6 +102,11 @@ PatternSet AdiMine::Mine(const MinerOptions& options) {
   const Status status = Mine(options, &out);
   PM_CHECK(status.ok()) << status.ToString();
   return out;
+}
+
+const IoStats& AdiMine::io_stats() {
+  if (swizzle_pool_ != nullptr) return swizzle_pool_->stats();
+  return disk_.stats();
 }
 
 }  // namespace partminer

@@ -9,17 +9,17 @@
 #include "miner/miner.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
+#include "storage/pool_config.h"
+#include "storage/swizzle_pool.h"
 
 namespace partminer {
 
 struct AdiMineOptions {
-  /// Buffer-pool capacity in pages. Small pools force re-reads during scans,
-  /// modeling a database larger than memory.
-  int buffer_frames = 256;
-  /// Buffer-pool LRU shards (see BufferPool). 1 keeps the exact global-LRU
-  /// behavior; larger values reduce lock contention when index scans run on
-  /// the work-stealing pool.
-  int buffer_shards = 1;
+  /// Buffer-pool sizing and engine selection. Defaults to the process-wide
+  /// DefaultPoolSizing(), which tools set from --pool-frames /
+  /// --pool-partitions / --writer-threads / --storage-engine. Small pools
+  /// force re-reads during scans, modeling a database larger than memory.
+  PoolSizing pool = DefaultPoolSizing();
   /// Backing file; empty picks a unique temp path.
   std::string file_path;
   /// Simulated per-page access latency (microseconds); models the 2006-era
@@ -33,6 +33,10 @@ struct AdiMineOptions {
 /// index; mining scans decode them through a bounded buffer pool and feed a
 /// gSpan-style in-memory search, which mirrors ADI's "index makes static
 /// mining fast" profile.
+///
+/// The buffer pool behind the index is selected by options.pool.engine:
+/// the swizzle engine (default) or the classic pool. Mining output is
+/// bit-identical across engines — the fuzz matrix and adi_test enforce it.
 ///
 /// The decisive behavior for the paper's dynamic experiments is faithfully
 /// reproduced: AdiMine cannot update its index incrementally — any database
@@ -70,14 +74,20 @@ class AdiMine {
   }
 
   const AdiIndex& index() const { return *index_; }
-  const IoStats& io_stats() const { return disk_.stats(); }
+  StorageEngine engine() const { return engine_; }
+
+  /// I/O counters; with the swizzle engine, pool_hits is synced from the
+  /// per-frame hit counters on each call.
+  const IoStats& io_stats();
 
   /// Seconds spent decoding pages during the last Mine().
   double last_scan_seconds() const { return last_scan_seconds_; }
 
  private:
   DiskManager disk_;
-  std::unique_ptr<BufferPool> pool_;
+  StorageEngine engine_ = StorageEngine::kSwizzle;
+  std::unique_ptr<BufferPool> classic_pool_;
+  std::unique_ptr<SwizzlePool> swizzle_pool_;
   std::unique_ptr<AdiIndex> index_;
   bool built_ = false;
   double last_scan_seconds_ = 0;

@@ -1,0 +1,126 @@
+#ifndef PARTMINER_STORAGE_PAGE_GUARD_H_
+#define PARTMINER_STORAGE_PAGE_GUARD_H_
+
+#include <utility>
+
+#include "storage/disk_manager.h"
+
+namespace partminer {
+
+class SwizzlePool;
+struct FrameMeta;
+
+/// RAII shared (read) pin on one page of a SwizzlePool. While the guard is
+/// live the frame cannot be evicted or exclusively latched away; the data
+/// pointer stays valid. Movable, not copyable. An empty guard is inert.
+///
+/// Guards replace the classic pool's Fetch/Unpin pairing: the pin is the
+/// object lifetime, so early returns on the Status-propagation paths cannot
+/// leak pins.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  ~PageGuard() { Release(); }
+
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      pool_ = other.pool_;
+      frame_ = other.frame_;
+      data_ = other.data_;
+      id_ = other.id_;
+      other.pool_ = nullptr;
+      other.frame_ = nullptr;
+      other.data_ = nullptr;
+      other.id_ = kInvalidPageId;
+    }
+    return *this;
+  }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  bool valid() const { return frame_ != nullptr; }
+  const char* data() const { return data_; }
+  PageId page_id() const { return id_; }
+
+  /// Drops the pin; the guard becomes empty. Safe on an empty guard.
+  void Release();
+
+ private:
+  friend class SwizzlePool;
+  void Adopt(SwizzlePool* pool, FrameMeta* frame, const char* data,
+             PageId id) {
+    pool_ = pool;
+    frame_ = frame;
+    data_ = data;
+    id_ = id;
+  }
+
+  SwizzlePool* pool_ = nullptr;
+  FrameMeta* frame_ = nullptr;
+  const char* data_ = nullptr;
+  PageId id_ = kInvalidPageId;
+};
+
+/// RAII exclusive latch + pin on one page: the holder is the only thread
+/// with any access to the frame (readers spin until release). Dropping the
+/// guard marks the page dirty unless set_dirty(false) was called first —
+/// exclusive access is for writing.
+class PageMutGuard {
+ public:
+  PageMutGuard() = default;
+  ~PageMutGuard() { Release(); }
+
+  PageMutGuard(PageMutGuard&& other) noexcept { *this = std::move(other); }
+  PageMutGuard& operator=(PageMutGuard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      pool_ = other.pool_;
+      frame_ = other.frame_;
+      data_ = other.data_;
+      id_ = other.id_;
+      dirty_ = other.dirty_;
+      other.pool_ = nullptr;
+      other.frame_ = nullptr;
+      other.data_ = nullptr;
+      other.id_ = kInvalidPageId;
+      other.dirty_ = true;
+    }
+    return *this;
+  }
+
+  PageMutGuard(const PageMutGuard&) = delete;
+  PageMutGuard& operator=(const PageMutGuard&) = delete;
+
+  bool valid() const { return frame_ != nullptr; }
+  char* data() const { return data_; }
+  PageId page_id() const { return id_; }
+
+  /// Whether releasing will mark the page dirty (default true).
+  void set_dirty(bool dirty) { dirty_ = dirty; }
+
+  /// Unlatches and unpins; the guard becomes empty. Safe on an empty guard.
+  void Release();
+
+ private:
+  friend class SwizzlePool;
+  void Adopt(SwizzlePool* pool, FrameMeta* frame, char* data, PageId id) {
+    pool_ = pool;
+    frame_ = frame;
+    data_ = data;
+    id_ = id;
+    dirty_ = true;
+  }
+
+  SwizzlePool* pool_ = nullptr;
+  FrameMeta* frame_ = nullptr;
+  char* data_ = nullptr;
+  PageId id_ = kInvalidPageId;
+  bool dirty_ = true;
+};
+
+}  // namespace partminer
+
+#endif  // PARTMINER_STORAGE_PAGE_GUARD_H_

@@ -1,0 +1,75 @@
+#ifndef PARTMINER_STORAGE_POOL_CONFIG_H_
+#define PARTMINER_STORAGE_POOL_CONFIG_H_
+
+#include <string>
+
+namespace partminer {
+
+/// Which buffer-manager implementation backs a disk-resident index.
+enum class StorageEngine {
+  /// The original sharded hash-table + LRU-list pool (BufferPool). Kept as
+  /// the reference implementation and test oracle.
+  kClassic,
+  /// The LeanStore-style pool (SwizzlePool): pointer swizzling, per-frame
+  /// versioned latches, clock/cooling eviction, optional async write-back.
+  kSwizzle,
+};
+
+inline const char* StorageEngineName(StorageEngine e) {
+  return e == StorageEngine::kClassic ? "classic" : "swizzle";
+}
+
+/// Parses "classic"/"swizzle" into `*out`; false on anything else.
+inline bool ParseStorageEngine(const std::string& name, StorageEngine* out) {
+  if (name == "classic") {
+    *out = StorageEngine::kClassic;
+    return true;
+  }
+  if (name == "swizzle") {
+    *out = StorageEngine::kSwizzle;
+    return true;
+  }
+  return false;
+}
+
+/// Buffer-pool sizing shared by every ADI construction path (CLI, daemon,
+/// benches, tests) — the one struct the --pool-frames/--pool-partitions/
+/// --writer-threads/--storage-engine flags populate, replacing the
+/// hard-coded pool constructions that used to be scattered over the tools.
+struct PoolSizing {
+  /// Pool capacity in pages. Small pools force re-reads during scans,
+  /// modeling a database larger than memory.
+  int frames = 256;
+  /// Lock partitions for the slow path (classic: LRU shards; swizzle:
+  /// eviction partitions). The hot path of the swizzle engine never touches
+  /// a partition lock, so 1 is fine unless miss traffic itself contends.
+  int partitions = 1;
+  /// Background write-back threads (swizzle engine only). 0 = synchronous
+  /// write-back on eviction, which keeps failure timing identical to the
+  /// classic pool. >0 overlaps eviction I/O with mining.
+  int writer_threads = 0;
+  /// Bounded write-back queue capacity in pages (swizzle engine with
+  /// writer_threads > 0); a full queue backpressures eviction.
+  int writeback_queue = 64;
+  /// Frames moved to the cooling stage per eviction sweep. 0 = auto
+  /// (frames/8, min 1). Exposed mostly so tests can pin the pipeline depth.
+  int cooling_batch = 0;
+  /// Which engine to build.
+  StorageEngine engine = StorageEngine::kSwizzle;
+};
+
+/// Process-wide default sizing, applied by AdiMineOptions when a caller does
+/// not override it. Tools set this once from flags at startup so every
+/// index built in-process inherits the operator's pool configuration.
+inline PoolSizing& MutableDefaultPoolSizing() {
+  static PoolSizing sizing;
+  return sizing;
+}
+
+inline const PoolSizing& DefaultPoolSizing() {
+  return MutableDefaultPoolSizing();
+}
+
+}  // namespace partminer
+
+#endif  // PARTMINER_STORAGE_POOL_CONFIG_H_

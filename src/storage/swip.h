@@ -1,0 +1,48 @@
+#ifndef PARTMINER_STORAGE_SWIP_H_
+#define PARTMINER_STORAGE_SWIP_H_
+
+#include <cstdint>
+
+namespace partminer {
+
+struct FrameMeta;
+
+/// A swip ("swizzled pointer", after LeanStore) is the page table's word for
+/// one page: either COLD (the page is not resident and must be read from
+/// disk) or a direct pointer to the frame holding it. Hot-path fetches
+/// dereference the pointer — no hash lookup, no table mutex. The low two
+/// pointer bits (free because frames are 64-byte aligned) tag the state:
+///
+///   0                     COLD     not resident
+///   frame | kResidentBit  HOT      resident, referenced directly
+///   frame | kResidentBit
+///         | kCoolingBit   COOLING  resident but queued for eviction; an
+///                                  access CAS-promotes it back to HOT with
+///                                  no I/O (the second-chance LeanStore
+///                                  cooling stage)
+namespace swip {
+
+inline constexpr uint64_t kCold = 0;
+inline constexpr uint64_t kResidentBit = 1;
+inline constexpr uint64_t kCoolingBit = 2;
+
+inline uint64_t MakeHot(FrameMeta* frame) {
+  return reinterpret_cast<uint64_t>(frame) | kResidentBit;
+}
+
+inline uint64_t MakeCooling(FrameMeta* frame) {
+  return reinterpret_cast<uint64_t>(frame) | kResidentBit | kCoolingBit;
+}
+
+inline bool IsResident(uint64_t s) { return (s & kResidentBit) != 0; }
+inline bool IsCooling(uint64_t s) { return (s & kCoolingBit) != 0; }
+
+inline FrameMeta* FrameOf(uint64_t s) {
+  return reinterpret_cast<FrameMeta*>(s & ~uint64_t{3});
+}
+
+}  // namespace swip
+
+}  // namespace partminer
+
+#endif  // PARTMINER_STORAGE_SWIP_H_

@@ -1,0 +1,458 @@
+#include "storage/swizzle_pool.h"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace partminer {
+
+// ---------------------------------------------------------------- SwipTable
+
+SwizzlePool::SwipTable::SwipTable()
+    : chunks_(new std::atomic<std::atomic<uint64_t>*>[kMaxChunks]) {
+  for (int i = 0; i < kMaxChunks; ++i) {
+    chunks_[i].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+SwizzlePool::SwipTable::~SwipTable() {
+  for (int i = 0; i < kMaxChunks; ++i) {
+    delete[] chunks_[i].load(std::memory_order_relaxed);
+  }
+}
+
+std::atomic<uint64_t>* SwizzlePool::SwipTable::Find(PageId id) const {
+  const int chunk_index = id >> kChunkBits;
+  if (chunk_index < 0 || chunk_index >= kMaxChunks) return nullptr;
+  std::atomic<uint64_t>* chunk =
+      chunks_[chunk_index].load(std::memory_order_acquire);
+  if (chunk == nullptr) return nullptr;
+  return &chunk[id & (kChunkSize - 1)];
+}
+
+std::atomic<uint64_t>* SwizzlePool::SwipTable::Ensure(PageId id) {
+  const int chunk_index = id >> kChunkBits;
+  PM_CHECK_GE(chunk_index, 0);
+  PM_CHECK_LT(chunk_index, kMaxChunks) << "page id beyond swip table bound";
+  std::atomic<uint64_t>* chunk =
+      chunks_[chunk_index].load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    std::lock_guard<std::mutex> lock(grow_mu_);
+    chunk = chunks_[chunk_index].load(std::memory_order_acquire);
+    if (chunk == nullptr) {
+      auto* fresh = new std::atomic<uint64_t>[kChunkSize];
+      for (int i = 0; i < kChunkSize; ++i) {
+        fresh[i].store(swip::kCold, std::memory_order_relaxed);
+      }
+      chunks_[chunk_index].store(fresh, std::memory_order_release);
+      chunk = fresh;
+    }
+  }
+  return &chunk[id & (kChunkSize - 1)];
+}
+
+void SwizzlePool::SwipTable::Clear() {
+  for (int c = 0; c < kMaxChunks; ++c) {
+    std::atomic<uint64_t>* chunk = chunks_[c].load(std::memory_order_acquire);
+    if (chunk == nullptr) continue;
+    for (int i = 0; i < kChunkSize; ++i) {
+      chunk[i].store(swip::kCold, std::memory_order_release);
+    }
+  }
+}
+
+// ------------------------------------------------------------ construction
+
+SwizzlePool::SwizzlePool(DiskManager* disk, const PoolSizing& sizing)
+    : disk_(disk),
+      writer_threads_(sizing.writer_threads),
+      cooling_batch_(sizing.cooling_batch),
+      frames_(static_cast<size_t>(sizing.frames)) {
+  PM_CHECK_GT(sizing.frames, 0);
+  PM_CHECK_GT(sizing.partitions, 0);
+  PM_CHECK_GE(sizing.frames, sizing.partitions)
+      << "every partition needs at least one frame";
+  arena_.reset(new char[static_cast<size_t>(sizing.frames) * kPageSize]);
+  partitions_.reserve(sizing.partitions);
+  for (int p = 0; p < sizing.partitions; ++p) {
+    partitions_.push_back(std::make_unique<Partition>());
+  }
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    FrameMeta& f = frames_[i];
+    f.data = arena_.get() + i * kPageSize;
+    f.partition = static_cast<uint32_t>(i % partitions_.size());
+    partitions_[f.partition]->frames.push_back(static_cast<uint32_t>(i));
+  }
+  for (auto& part : partitions_) {
+    part->free.assign(part->frames.rbegin(), part->frames.rend());
+  }
+  if (writer_threads_ > 0) {
+    writer_ = std::make_unique<WriterPool>(disk_, writer_threads_,
+                                           sizing.writeback_queue);
+  }
+}
+
+SwizzlePool::~SwizzlePool() = default;
+
+// ---------------------------------------------------------------- hot path
+
+FrameMeta* SwizzlePool::TryPinHot(PageId id) {
+  for (int attempt = 0;; ++attempt) {
+    std::atomic<uint64_t>* entry = table_.Find(id);
+    if (entry == nullptr) return nullptr;
+    const uint64_t s = entry->load(std::memory_order_acquire);
+    if (!swip::IsResident(s)) return nullptr;
+    FrameMeta* f = swip::FrameOf(s);
+    // Pin first, then validate. The seq_cst pin RMW totally orders against
+    // the evictor's latch CAS + pins check: either the evictor saw our pin
+    // and aborted, or we see its latch and back off — the pin can never
+    // outlive an eviction it failed to prevent.
+    f->pins.fetch_add(1, std::memory_order_seq_cst);
+    if (!f->latch.IsLocked(std::memory_order_seq_cst) &&
+        f->page_id.load(std::memory_order_seq_cst) == id) {
+      f->referenced.store(true, std::memory_order_relaxed);
+      f->hits.fetch_add(1, std::memory_order_relaxed);
+      if (swip::IsCooling(s)) PromoteFromCooling(entry, f);
+      return f;
+    }
+    f->pins.fetch_sub(1, std::memory_order_seq_cst);
+    // The frame is latched (writer, flusher, or mid-eviction) or was reused
+    // for another page; re-read the swip and retry or fall to the miss path.
+    if (attempt % 64 == 63) std::this_thread::yield();
+  }
+}
+
+Status SwizzlePool::Fetch(PageId id, PageGuard* guard) {
+  guard->Release();
+  for (;;) {
+    if (FrameMeta* f = TryPinHot(id)) {
+      guard->Adopt(this, f, f->data, id);
+      return Status::Ok();
+    }
+    FrameMeta* f = nullptr;
+    PARTMINER_RETURN_IF_ERROR(FetchSlow(id, &f));
+    if (f == nullptr) continue;  // Lost the install race; page is hot now.
+    f->latch.Unlock();           // Shared read: keep the pin, drop the latch.
+    guard->Adopt(this, f, f->data, id);
+    return Status::Ok();
+  }
+}
+
+Status SwizzlePool::FetchMut(PageId id, PageMutGuard* guard) {
+  guard->Release();
+  for (int attempt = 0;; ++attempt) {
+    FrameMeta* f = TryPinHot(id);
+    if (f == nullptr) {
+      PARTMINER_RETURN_IF_ERROR(FetchSlow(id, &f));
+      if (f == nullptr) continue;
+    } else if (!f->latch.TryLockExclusive()) {
+      f->pins.fetch_sub(1, std::memory_order_seq_cst);
+      if (attempt % 64 == 63) std::this_thread::yield();
+      continue;
+    }
+    // Latched + pinned. A validated pin blocks eviction, so the identity
+    // check held at pin time still holds. Wait out transient probe pins and
+    // concurrent readers; ours must be the only survivor.
+    while (f->pins.load(std::memory_order_seq_cst) != 1) {
+      std::this_thread::yield();
+    }
+    guard->Adopt(this, f, f->data, id);
+    return Status::Ok();
+  }
+}
+
+Status SwizzlePool::Allocate(PageId* id, PageMutGuard* guard) {
+  guard->Release();
+  *id = kInvalidPageId;
+  PARTMINER_RETURN_IF_ERROR_CTX(disk_->Allocate(id), "allocating page");
+  Partition& part = PartitionOf(*id);
+  std::lock_guard<std::mutex> lock(part.mu);
+  uint32_t fi = 0;
+  PARTMINER_RETURN_IF_ERROR_CTX(GetVictim(&part, &fi),
+                                "allocating page " + std::to_string(*id));
+  FrameMeta& f = frames_[fi];
+  std::memset(f.data, 0, kPageSize);
+  f.page_id.store(*id, std::memory_order_seq_cst);
+  f.dirty.store(true, std::memory_order_relaxed);  // Must reach disk.
+  f.referenced.store(true, std::memory_order_relaxed);
+  f.pins.fetch_add(1, std::memory_order_seq_cst);
+  table_.Ensure(*id)->store(swip::MakeHot(&f), std::memory_order_release);
+  guard->Adopt(this, &f, f.data, *id);  // Latch stays held until release.
+  return Status::Ok();
+}
+
+// --------------------------------------------------------------- miss path
+
+Status SwizzlePool::FetchSlow(PageId id, FrameMeta** frame) {
+  *frame = nullptr;
+  Partition& part = PartitionOf(id);
+  std::lock_guard<std::mutex> lock(part.mu);
+  std::atomic<uint64_t>* entry = table_.Ensure(id);
+  if (swip::IsResident(entry->load(std::memory_order_acquire))) {
+    return Status::Ok();  // Someone installed it while we waited; retry hot.
+  }
+  ++disk_->mutable_stats()->pool_misses;
+  PM_METRIC_COUNTER("pool.misses")->Increment();
+  uint32_t fi = 0;
+  PARTMINER_RETURN_IF_ERROR_CTX(GetVictim(&part, &fi),
+                                "fetching page " + std::to_string(id));
+  FrameMeta& f = frames_[fi];
+  // Bytes still sitting in the write-back pool are newer than (or absent
+  // from) disk; prefer them so async eviction can never serve stale data.
+  if (writer_ == nullptr || !writer_->Lookup(id, f.data)) {
+    const Status read = disk_->ReadPage(id, f.data);
+    if (!read.ok()) {
+      // Failed read: the latched, detached frame goes back to the free
+      // list. No garbage is cached, no pin leaks.
+      f.page_id.store(kInvalidPageId, std::memory_order_seq_cst);
+      f.latch.Unlock();
+      part.free.push_back(fi);
+      return read.WithContext("fetching page " + std::to_string(id));
+    }
+  }
+  f.page_id.store(id, std::memory_order_seq_cst);
+  f.dirty.store(false, std::memory_order_relaxed);
+  f.referenced.store(true, std::memory_order_relaxed);
+  f.pins.fetch_add(1, std::memory_order_seq_cst);
+  entry->store(swip::MakeHot(&f), std::memory_order_release);
+  *frame = &f;
+  return Status::Ok();
+}
+
+Status SwizzlePool::GetVictim(Partition* part, uint32_t* frame_index) {
+  if (!part->free.empty()) {
+    const uint32_t fi = part->free.back();
+    part->free.pop_back();
+    // Uncontended except for a FlushAll sweep passing through.
+    frames_[fi].latch.LockExclusive();
+    *frame_index = fi;
+    return Status::Ok();
+  }
+  const size_t nframes = part->frames.size();
+  for (size_t round = 0; round < 16 * nframes + 64; ++round) {
+    // Drain the cooling FIFO head-first (approximate LRU order).
+    size_t scan = part->cooling.size();
+    while (scan-- > 0 && !part->cooling.empty()) {
+      const uint32_t fi = part->cooling.front();
+      part->cooling.pop_front();
+      FrameMeta& f = frames_[fi];
+      if (!f.cooling.load(std::memory_order_relaxed)) continue;  // Promoted.
+      const PageId pid = f.page_id.load(std::memory_order_seq_cst);
+      std::atomic<uint64_t>* entry = table_.Find(pid);
+      if (pid == kInvalidPageId || entry == nullptr) {
+        f.cooling.store(false, std::memory_order_relaxed);
+        cooling_count_.fetch_sub(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (!f.latch.TryLockExclusive()) {
+        part->cooling.push_back(fi);  // Busy (FlushAll); come back to it.
+        continue;
+      }
+      if (f.pins.load(std::memory_order_seq_cst) != 0) {
+        // A reader raced us to it: restore to hot, its promotion may have
+        // been blocked by our latch.
+        uint64_t cur = swip::MakeCooling(&f);
+        entry->compare_exchange_strong(cur, swip::MakeHot(&f),
+                                       std::memory_order_seq_cst);
+        f.cooling.store(false, std::memory_order_relaxed);
+        cooling_count_.fetch_sub(1, std::memory_order_relaxed);
+        f.latch.Unlock();
+        continue;
+      }
+      uint64_t expected = swip::MakeCooling(&f);
+      if (!entry->compare_exchange_strong(expected, swip::kCold,
+                                          std::memory_order_seq_cst)) {
+        f.latch.Unlock();  // Concurrently promoted; flag already cleared.
+        continue;
+      }
+      // Unswizzled: the page is cold, new fetches go through the miss path
+      // (and will block on part->mu behind us). Let transient probe pins
+      // from stale swips drain before touching the bytes.
+      while (f.pins.load(std::memory_order_seq_cst) != 0) {
+        std::this_thread::yield();
+      }
+      if (f.dirty.load(std::memory_order_relaxed)) {
+        if (writer_ != nullptr) {
+          writer_->Enqueue(pid, f.data);
+          f.dirty.store(false, std::memory_order_relaxed);
+        } else {
+          const Status write = disk_->WritePage(pid, f.data);
+          if (!write.ok()) {
+            // Failed sync write-back: re-swizzle the page (cached, dirty,
+            // evictable later) so nothing is lost, and propagate.
+            entry->store(swip::MakeHot(&f), std::memory_order_release);
+            f.cooling.store(false, std::memory_order_relaxed);
+            cooling_count_.fetch_sub(1, std::memory_order_relaxed);
+            f.latch.Unlock();
+            return write.WithContext("evicting page " + std::to_string(pid));
+          }
+          f.dirty.store(false, std::memory_order_relaxed);
+        }
+      }
+      f.cooling.store(false, std::memory_order_relaxed);
+      cooling_count_.fetch_sub(1, std::memory_order_relaxed);
+      f.page_id.store(kInvalidPageId, std::memory_order_seq_cst);
+      ++disk_->mutable_stats()->evictions;
+      PM_METRIC_COUNTER("pool.evictions")->Increment();
+      *frame_index = fi;
+      return Status::Ok();  // Latch held; caller installs or frees.
+    }
+    if (CoolFrames(part) == 0 && part->cooling.empty()) {
+      return Status::ResourceExhausted(
+          "swizzle pool partition exhausted: all " + std::to_string(nframes) +
+          " frames pinned");
+    }
+  }
+  return Status::ResourceExhausted(
+      "swizzle pool eviction starved by concurrent accesses (partition of " +
+      std::to_string(nframes) + " frames)");
+}
+
+int SwizzlePool::CoolFrames(Partition* part) {
+  const size_t nframes = part->frames.size();
+  const int target =
+      cooling_batch_ > 0
+          ? cooling_batch_
+          : std::max<int>(1, static_cast<int>(nframes / 8));
+  int cooled = 0;
+  // Two full clock revolutions: the first strips referenced bits, the
+  // second can then demote.
+  for (size_t swept = 0; cooled < target && swept < 2 * nframes; ++swept) {
+    const uint32_t fi = part->frames[part->clock_hand % nframes];
+    ++part->clock_hand;
+    FrameMeta& f = frames_[fi];
+    // page_id only changes under part->mu (held), so this is stable.
+    const PageId pid = f.page_id.load(std::memory_order_seq_cst);
+    if (pid == kInvalidPageId) continue;
+    if (f.cooling.load(std::memory_order_relaxed)) continue;
+    if (f.pins.load(std::memory_order_relaxed) != 0) continue;
+    if (f.latch.IsLocked(std::memory_order_relaxed)) continue;
+    if (f.referenced.exchange(false, std::memory_order_relaxed)) continue;
+    std::atomic<uint64_t>* entry = table_.Find(pid);
+    if (entry == nullptr) continue;
+    uint64_t expected = swip::MakeHot(&f);
+    if (entry->compare_exchange_strong(expected, swip::MakeCooling(&f),
+                                       std::memory_order_seq_cst)) {
+      f.cooling.store(true, std::memory_order_relaxed);
+      cooling_count_.fetch_add(1, std::memory_order_relaxed);
+      part->cooling.push_back(fi);
+      ++cooled;
+    }
+  }
+  return cooled;
+}
+
+void SwizzlePool::PromoteFromCooling(std::atomic<uint64_t>* entry,
+                                     FrameMeta* frame) {
+  uint64_t expected = swip::MakeCooling(frame);
+  if (entry->compare_exchange_strong(expected, swip::MakeHot(frame),
+                                     std::memory_order_seq_cst)) {
+    frame->cooling.store(false, std::memory_order_relaxed);
+    cooling_count_.fetch_sub(1, std::memory_order_relaxed);
+    PM_METRIC_COUNTER("pool.cooling_promotions")->Increment();
+  }
+  // CAS failure: another reader promoted first (the swip is hot) — done.
+  // The evictor cannot have won instead: our validated pin blocks commit.
+}
+
+// -------------------------------------------------------------- guard drop
+
+void SwizzlePool::ReleaseRead(FrameMeta* frame) {
+  frame->pins.fetch_sub(1, std::memory_order_release);
+}
+
+void SwizzlePool::ReleaseMut(FrameMeta* frame, bool dirty) {
+  if (dirty) frame->dirty.store(true, std::memory_order_relaxed);
+  frame->pins.fetch_sub(1, std::memory_order_release);
+  frame->latch.Unlock();
+}
+
+// ------------------------------------------------------------- maintenance
+
+Status SwizzlePool::FlushAll() {
+  for (FrameMeta& f : frames_) {
+    f.latch.LockExclusive();
+    const PageId pid = f.page_id.load(std::memory_order_seq_cst);
+    if (pid != kInvalidPageId && f.dirty.load(std::memory_order_relaxed)) {
+      if (writer_ != nullptr) {
+        writer_->Enqueue(pid, f.data);
+        f.dirty.store(false, std::memory_order_relaxed);
+      } else {
+        const Status write = disk_->WritePage(pid, f.data);
+        if (!write.ok()) {
+          f.latch.Unlock();  // Page stays cached + dirty; a retry can work.
+          return write.WithContext("flushing page " + std::to_string(pid));
+        }
+        f.dirty.store(false, std::memory_order_relaxed);
+      }
+    }
+    f.latch.Unlock();
+  }
+  if (writer_ != nullptr) {
+    PARTMINER_RETURN_IF_ERROR_CTX(writer_->Drain(),
+                                  "draining write-back pool");
+  }
+  stats();  // Sync the hit counters into IoStats.
+  return Status::Ok();
+}
+
+void SwizzlePool::Clear() {
+  if (writer_ != nullptr) writer_->CancelAll();
+  std::vector<std::unique_lock<std::mutex>> part_locks;
+  part_locks.reserve(partitions_.size());
+  for (auto& part : partitions_) part_locks.emplace_back(part->mu);
+  for (FrameMeta& f : frames_) f.latch.LockExclusive();
+  table_.Clear();
+  for (FrameMeta& f : frames_) {
+    // Real pins are a caller contract violation; transient probe pins from
+    // stale swips drain on their own, so wait instead of crashing.
+    while (f.pins.load(std::memory_order_seq_cst) != 0) {
+      std::this_thread::yield();
+    }
+    f.page_id.store(kInvalidPageId, std::memory_order_seq_cst);
+    f.dirty.store(false, std::memory_order_relaxed);
+    f.referenced.store(false, std::memory_order_relaxed);
+    f.cooling.store(false, std::memory_order_relaxed);
+    f.latch.Unlock();
+  }
+  cooling_count_.store(0, std::memory_order_relaxed);
+  for (auto& part : partitions_) {
+    part->cooling.clear();
+    part->clock_hand = 0;
+    part->free.assign(part->frames.rbegin(), part->frames.rend());
+  }
+}
+
+// ------------------------------------------------------------------- stats
+
+int64_t SwizzlePool::hit_count() const {
+  int64_t total = 0;
+  for (const FrameMeta& f : frames_) {
+    total += f.hits.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+const IoStats& SwizzlePool::stats() {
+  // Hits are counted per frame to keep the hot path off shared counters;
+  // fold them into the shared IoStats on demand.
+  disk_->mutable_stats()->pool_hits.store(hit_count(),
+                                          std::memory_order_relaxed);
+  return disk_->stats();
+}
+
+void SwizzlePool::PublishMetrics() {
+  PM_METRIC_GAUGE("pool.hits")->Set(hit_count());
+  PM_METRIC_GAUGE("pool.frames")->Set(frames());
+  PM_METRIC_GAUGE("pool.cooling_frames")
+      ->Set(cooling_count_.load(std::memory_order_relaxed));
+  PM_METRIC_GAUGE("pool.writeback_queue_depth")
+      ->Set(writer_ != nullptr ? writer_->queue_depth() : 0);
+  PM_METRIC_GAUGE("pool.writeback_failed_pages")
+      ->Set(writer_ != nullptr ? writer_->failed_count() : 0);
+}
+
+}  // namespace partminer

@@ -1,0 +1,213 @@
+#ifndef PARTMINER_STORAGE_SWIZZLE_POOL_H_
+#define PARTMINER_STORAGE_SWIZZLE_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page_guard.h"
+#include "storage/pool_config.h"
+#include "storage/swip.h"
+#include "storage/versioned_latch.h"
+#include "storage/writer_pool.h"
+
+namespace partminer {
+
+/// Per-frame metadata for the swizzle pool. One cache line per frame: the
+/// versioned latch, the pin count, and identity/state bits a reader must
+/// validate. Page bytes live in a separate arena so metadata stays dense.
+struct alignas(64) FrameMeta {
+  VersionedLatch latch;
+  /// Shared pins. Readers pin optimistically through possibly-stale swips,
+  /// so transient pins on unrelated frames happen; all pin arithmetic is
+  /// fetch_add/fetch_sub (never store) to keep it symmetric.
+  std::atomic<int32_t> pins{0};
+  std::atomic<PageId> page_id{kInvalidPageId};
+  std::atomic<bool> dirty{false};
+  std::atomic<bool> referenced{false};  // Clock second-chance bit.
+  std::atomic<bool> cooling{false};     // Hint: queued in a cooling FIFO.
+  uint32_t partition = 0;
+  /// Hot-path hits, counted here because the pin fetch_add already owns the
+  /// cache line; summed lazily into IoStats::pool_hits.
+  std::atomic<int64_t> hits{0};
+  char* data = nullptr;
+};
+
+/// LeanStore-style buffer manager. Differences from the classic BufferPool
+/// that this engine exists to remove:
+///
+///  - **Pointer swizzling**: the page table is an array of tagged words
+///    (swips); a hot page resolves to its frame with one atomic load
+///    instead of a mutex + hash lookup.
+///  - **Optimistic lock coupling**: readers pin and then validate the
+///    frame's versioned latch + identity; they never take a mutex on a hit,
+///    so read throughput scales with threads.
+///  - **Clock/second-chance eviction with a cooling stage**: the sweep
+///    strips referenced bits and demotes idle pages to COOLING; a touch
+///    while cooling promotes back to HOT with no I/O; only the cooling FIFO
+///    head is actually unswizzled. Replaces the global LRU list.
+///  - **Asynchronous write-back** (writer_threads > 0): eviction enqueues
+///    dirty pages on a bounded WriterPool instead of blocking on the disk;
+///    FlushAll drains it. writer_threads == 0 keeps the classic synchronous
+///    behavior (and its failure timing) exactly.
+///
+/// Fault contract (same as the classic pool): a failed read never caches
+/// garbage and never leaks a pin; a failed synchronous write-back leaves
+/// the victim cached + dirty and propagates; a failed asynchronous
+/// write-back parks the bytes in the writer pool (re-fetches still see
+/// them) and surfaces from FlushAll after a retry.
+///
+/// Caller rules: a thread must not FetchMut a page it already holds a guard
+/// on, and must drop its guards before FlushAll/Clear.
+class SwizzlePool {
+ public:
+  SwizzlePool(DiskManager* disk, const PoolSizing& sizing);
+  ~SwizzlePool();
+
+  SwizzlePool(const SwizzlePool&) = delete;
+  SwizzlePool& operator=(const SwizzlePool&) = delete;
+
+  /// Pins page `id` for reading. Fails with ResourceExhausted when every
+  /// frame of the page's partition is pinned, and propagates disk errors;
+  /// `*guard` is empty on failure and the pool state is unchanged.
+  Status Fetch(PageId id, PageGuard* guard);
+
+  /// Pins page `id` exclusively (other threads spin until release).
+  Status FetchMut(PageId id, PageMutGuard* guard);
+
+  /// Allocates a new page, exclusively pinned and zeroed, dirty by default.
+  Status Allocate(PageId* id, PageMutGuard* guard);
+
+  /// Writes back every dirty page (pages stay cached); with async
+  /// write-back, drains the writer pool and retries failures — an error
+  /// means some page is still unflushed (its bytes are retained).
+  Status FlushAll();
+
+  /// Drops the cache (pages must be unpinned) and cancels pending
+  /// write-back; used around index rebuilds that reset the disk anyway.
+  void Clear();
+
+  int frames() const { return static_cast<int>(frames_.size()); }
+  int partitions() const { return static_cast<int>(partitions_.size()); }
+  int writer_threads() const { return writer_threads_; }
+
+  /// Total hot-path hits (sums the per-frame counters).
+  int64_t hit_count() const;
+
+  /// Disk-manager stats with pool_hits synced from the per-frame counters.
+  const IoStats& stats();
+
+  /// Exports pool.* gauges (hit total, cooling depth, queue depth, frame
+  /// count) to the global metrics registry; counters are maintained inline.
+  void PublishMetrics();
+
+ private:
+  friend class PageGuard;
+  friend class PageMutGuard;
+
+  /// Chunked page-id -> swip array. Chunks have stable addresses so the hot
+  /// path can load entries with no lock while Ensure grows the table.
+  class SwipTable {
+   public:
+    static constexpr int kChunkBits = 12;
+    static constexpr int kChunkSize = 1 << kChunkBits;
+    static constexpr int kMaxChunks = 1 << 14;  // 64M pages = 256 GiB.
+
+    SwipTable();
+    ~SwipTable();
+    std::atomic<uint64_t>* Find(PageId id) const;
+    std::atomic<uint64_t>* Ensure(PageId id);
+    void Clear();
+
+   private:
+    std::unique_ptr<std::atomic<std::atomic<uint64_t>*>[]> chunks_;
+    std::mutex grow_mu_;
+  };
+
+  /// Eviction state for one partition (page id modulo partition count).
+  /// All members guarded by mu. Frames never migrate between partitions.
+  struct Partition {
+    std::mutex mu;
+    std::vector<uint32_t> frames;   // Frame indices owned by this partition.
+    size_t clock_hand = 0;
+    std::deque<uint32_t> cooling;   // FIFO of frame indices being cooled.
+    std::vector<uint32_t> free;     // Never-used / evicted frames.
+  };
+
+  Partition& PartitionOf(PageId id) {
+    return *partitions_[static_cast<size_t>(id) % partitions_.size()];
+  }
+
+  /// Hot-path resolution: returns the pinned frame for `id`, or nullptr if
+  /// the caller must take the miss path (swip cold) — a retry after a lost
+  /// validation loops in the caller.
+  FrameMeta* TryPinHot(PageId id);
+
+  /// Miss path: reads (or recovers from the writer pool) page `id` into a
+  /// victim frame and installs it. On success the frame is latched
+  /// exclusively with one pin held — the caller unlatches for shared reads.
+  /// Sets `*frame` to nullptr (with Ok) when it lost the install race and
+  /// the caller should retry the hot path.
+  Status FetchSlow(PageId id, FrameMeta** frame);
+
+  /// Finds a reusable frame in `part`: free list first, else evict from the
+  /// cooling FIFO, refilling it with a clock sweep. Returns the frame
+  /// latched, detached, with no page. Caller holds part->mu.
+  Status GetVictim(Partition* part, uint32_t* frame_index);
+
+  /// Moves up to the cooling batch of unreferenced hot frames in `part`
+  /// into the cooling stage. Returns how many were cooled. Caller holds
+  /// part->mu.
+  int CoolFrames(Partition* part);
+
+  /// CAS-promotes a cooling swip back to hot after `frame` was pinned and
+  /// validated for `id`. No-op if another reader already promoted it.
+  void PromoteFromCooling(std::atomic<uint64_t>* entry, FrameMeta* frame);
+
+  void ReleaseRead(FrameMeta* frame);
+  void ReleaseMut(FrameMeta* frame, bool dirty);
+
+  /// Synchronous write-back used when writer_threads == 0 and by FlushAll.
+  /// Caller holds the frame latch.
+  Status WriteBackLocked(FrameMeta* frame, PageId id);
+
+  DiskManager* disk_;
+  int writer_threads_ = 0;
+  int cooling_batch_ = 0;  // 0 = auto (frames per partition / 8, min 1).
+  std::vector<FrameMeta> frames_;
+  std::unique_ptr<char[]> arena_;  // frames() * kPageSize page bytes.
+  std::vector<std::unique_ptr<Partition>> partitions_;
+  SwipTable table_;
+  std::unique_ptr<WriterPool> writer_;  // Null when writer_threads == 0.
+  std::atomic<int64_t> cooling_count_{0};
+};
+
+inline void PageGuard::Release() {
+  if (frame_ != nullptr) {
+    pool_->ReleaseRead(frame_);
+    frame_ = nullptr;
+    data_ = nullptr;
+    pool_ = nullptr;
+    id_ = kInvalidPageId;
+  }
+}
+
+inline void PageMutGuard::Release() {
+  if (frame_ != nullptr) {
+    pool_->ReleaseMut(frame_, dirty_);
+    frame_ = nullptr;
+    data_ = nullptr;
+    pool_ = nullptr;
+    id_ = kInvalidPageId;
+    dirty_ = true;
+  }
+}
+
+}  // namespace partminer
+
+#endif  // PARTMINER_STORAGE_SWIZZLE_POOL_H_

@@ -1,0 +1,75 @@
+#ifndef PARTMINER_STORAGE_VERSIONED_LATCH_H_
+#define PARTMINER_STORAGE_VERSIONED_LATCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace partminer {
+
+/// Seqlock-style versioned latch, the LeanStore-shaped primitive behind
+/// optimistic lock coupling: a single 64-bit word whose low bit says
+/// "exclusively locked" and whose upper bits count versions. Readers never
+/// modify the word — they sample it, do their read, and re-validate that the
+/// version is unchanged and was never locked; writers CAS the lock bit in
+/// and bump the version on the way out, so any overlap invalidates the
+/// optimistic read.
+///
+/// Even word = unlocked, odd = exclusively locked. Unlock adds one, which
+/// both clears the lock bit and advances the version.
+class VersionedLatch {
+ public:
+  VersionedLatch() = default;
+  VersionedLatch(const VersionedLatch&) = delete;
+  VersionedLatch& operator=(const VersionedLatch&) = delete;
+
+  /// Acquires the exclusive lock iff it is free. Never blocks.
+  bool TryLockExclusive() {
+    uint64_t v = word_.load(std::memory_order_relaxed);
+    if (v & 1) return false;
+    return word_.compare_exchange_strong(v, v + 1, std::memory_order_seq_cst,
+                                         std::memory_order_relaxed);
+  }
+
+  /// Spins (with yields) until the exclusive lock is acquired. Only used on
+  /// slow paths that are known not to self-deadlock (FlushAll, Clear).
+  void LockExclusive() {
+    for (int spin = 0; !TryLockExclusive(); ++spin) {
+      if (spin % 64 == 63) std::this_thread::yield();
+    }
+  }
+
+  /// Releases the exclusive lock and advances the version. Release order
+  /// publishes every write made under the lock to validating readers.
+  void Unlock() { word_.fetch_add(1, std::memory_order_release); }
+
+  bool IsLocked(std::memory_order order = std::memory_order_seq_cst) const {
+    return (word_.load(order) & 1) != 0;
+  }
+
+  /// Starts an optimistic read: returns the current version. If the word is
+  /// locked the returned value is odd and can never validate, so callers
+  /// just retry.
+  uint64_t OptimisticVersion() const {
+    return word_.load(std::memory_order_acquire);
+  }
+
+  /// Ends an optimistic read started at `version`: true iff no writer held
+  /// or took the latch in between (reads done under it are consistent).
+  bool Validate(uint64_t version) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return (version & 1) == 0 &&
+           word_.load(std::memory_order_relaxed) == version;
+  }
+
+  uint64_t word_for_test() const {
+    return word_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> word_{0};
+};
+
+}  // namespace partminer
+
+#endif  // PARTMINER_STORAGE_VERSIONED_LATCH_H_

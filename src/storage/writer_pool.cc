@@ -1,0 +1,191 @@
+#include "storage/writer_pool.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace partminer {
+
+WriterPool::WriterPool(DiskManager* disk, int threads, int queue_capacity)
+    : disk_(disk), queue_capacity_(static_cast<size_t>(queue_capacity)) {
+  PM_CHECK_GT(threads, 0);
+  PM_CHECK_GT(queue_capacity, 0);
+  workers_.reserve(threads);
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WriterPool::~WriterPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int WriterPool::NextRunnableLocked() const {
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    if (in_flight_pages_.count(queue_[i]->id) == 0) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void WriterPool::UpdateDepthLocked() {
+  const int64_t depth =
+      static_cast<int64_t>(queue_.size() + in_flight_pages_.size());
+  depth_.store(depth, std::memory_order_relaxed);
+  PM_METRIC_GAUGE("pool.writeback_queue_depth")->Set(depth);
+}
+
+void WriterPool::Enqueue(PageId id, const char* data) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = latest_.find(id);
+  if (it != latest_.end() && in_flight_pages_.count(id) == 0) {
+    // The newest job for this page has not started: overwrite its bytes in
+    // place (coalescing), and if it had failed, move it back to the queue
+    // for another attempt with the fresh data.
+    Job* job = it->second;
+    std::memcpy(job->data.get(), data, kPageSize);
+    auto failed_it = std::find_if(
+        failed_.begin(), failed_.end(),
+        [job](const std::unique_ptr<Job>& j) { return j.get() == job; });
+    if (failed_it != failed_.end()) {
+      queue_.push_back(std::move(*failed_it));
+      failed_.erase(failed_it);
+      work_cv_.notify_one();
+    }
+    PM_METRIC_COUNTER("pool.writeback_coalesced")->Increment();
+    UpdateDepthLocked();
+    return;
+  }
+  space_cv_.wait(lock, [this] {
+    return stop_ || queue_.size() < queue_capacity_;
+  });
+  if (stop_) return;
+  auto job = std::make_unique<Job>();
+  job->id = id;
+  job->data = std::make_unique<char[]>(kPageSize);
+  std::memcpy(job->data.get(), data, kPageSize);
+  latest_[id] = job.get();
+  queue_.push_back(std::move(job));
+  UpdateDepthLocked();
+  work_cv_.notify_one();
+}
+
+bool WriterPool::Lookup(PageId id, char* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = latest_.find(id);
+  if (it == latest_.end()) return false;
+  std::memcpy(out, it->second->data.get(), kPageSize);
+  return true;
+}
+
+void WriterPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    int idx = -1;
+    work_cv_.wait(lock, [this, &idx] {
+      if (stop_) return true;
+      idx = NextRunnableLocked();
+      return idx >= 0;
+    });
+    if (stop_) return;
+    std::unique_ptr<Job> job = std::move(queue_[idx]);
+    queue_.erase(queue_.begin() + idx);
+    in_flight_pages_.insert(job->id);
+    UpdateDepthLocked();
+    space_cv_.notify_one();
+    lock.unlock();
+    const Status write = disk_->WritePage(job->id, job->data.get());
+    lock.lock();
+    in_flight_pages_.erase(job->id);
+    if (write.ok()) {
+      PM_METRIC_COUNTER("pool.writeback_pages")->Increment();
+      // A newer job for the page may have been queued while we wrote; only
+      // retire the mapping if it still names this job.
+      auto it = latest_.find(job->id);
+      if (it != latest_.end() && it->second == job.get()) latest_.erase(it);
+      job.reset();
+    } else {
+      PM_METRIC_COUNTER("pool.writeback_failures")->Increment();
+      sticky_ = write;
+      auto it = latest_.find(job->id);
+      if (it != latest_.end() && it->second != job.get()) {
+        // Superseded by a newer job: this buffer is stale, drop it — the
+        // newer job still carries the page.
+        job.reset();
+      } else {
+        failed_.push_back(std::move(job));
+      }
+    }
+    UpdateDepthLocked();
+    // A finished page may unblock a queued job for the same page.
+    work_cv_.notify_all();
+    idle_cv_.notify_all();
+  }
+}
+
+Status WriterPool::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] {
+    return queue_.empty() && in_flight_pages_.empty();
+  });
+  // Retry failures synchronously; holding mu_ here is fine — the workers
+  // are idle and correctness beats overlap on this cold path.
+  Status last = Status::Ok();
+  for (size_t i = 0; i < failed_.size();) {
+    Job* job = failed_[i].get();
+    const Status retry = disk_->WritePage(job->id, job->data.get());
+    if (retry.ok()) {
+      PM_METRIC_COUNTER("pool.writeback_pages")->Increment();
+      auto it = latest_.find(job->id);
+      if (it != latest_.end() && it->second == job) latest_.erase(it);
+      failed_.erase(failed_.begin() + i);
+    } else {
+      PM_METRIC_COUNTER("pool.writeback_failures")->Increment();
+      last = retry;
+      ++i;
+    }
+  }
+  if (!failed_.empty()) {
+    sticky_ = last;
+    return last.WithContext("async write-back: " +
+                            std::to_string(failed_.size()) +
+                            " page(s) still unflushed");
+  }
+  sticky_ = Status::Ok();
+  return Status::Ok();
+}
+
+void WriterPool::CancelAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.clear();
+  failed_.clear();
+  // In-flight jobs are owned by workers and will unhook themselves; their
+  // latest_ entries vanish on completion or were superseded. Entries for
+  // queued/failed jobs must go now since their storage is gone.
+  for (auto it = latest_.begin(); it != latest_.end();) {
+    if (in_flight_pages_.count(it->first) == 0) {
+      it = latest_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  sticky_ = Status::Ok();
+  UpdateDepthLocked();
+  space_cv_.notify_all();
+}
+
+int64_t WriterPool::failed_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(failed_.size());
+}
+
+}  // namespace partminer

@@ -1,0 +1,103 @@
+#ifndef PARTMINER_STORAGE_WRITER_POOL_H_
+#define PARTMINER_STORAGE_WRITER_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+
+namespace partminer {
+
+/// Background write-back pool: eviction hands dirty pages here instead of
+/// blocking on WritePage, so write I/O overlaps mining. Jobs carry a private
+/// copy of the page, the queue is bounded (a full queue backpressures the
+/// evictor), and writes to the same page never run concurrently or out of
+/// order.
+///
+/// Failure contract (degrade, don't die, and never lose data): a failed
+/// write parks its job on a failed list — the page bytes stay in the job
+/// buffer, Lookup() keeps serving them to re-fetches, and Drain() retries
+/// them synchronously. Only when a retry also fails does Drain surface the
+/// error; until some flush succeeds the data is never dropped.
+class WriterPool {
+ public:
+  /// Starts `threads` (>= 1) workers. `queue_capacity` bounds the number of
+  /// queued-but-not-started jobs.
+  WriterPool(DiskManager* disk, int threads, int queue_capacity);
+
+  /// Stops the workers. Jobs still queued are abandoned (the owning pool
+  /// drains via FlushAll before teardown on every path that cares).
+  ~WriterPool();
+
+  WriterPool(const WriterPool&) = delete;
+  WriterPool& operator=(const WriterPool&) = delete;
+
+  /// Queues a write of `data` (kPageSize bytes, copied) to page `id`.
+  /// Coalesces with a not-yet-started or failed job for the same page;
+  /// blocks while the queue is full.
+  void Enqueue(PageId id, const char* data);
+
+  /// If a write for `id` is pending, in flight, or failed, copies its
+  /// newest buffered bytes (the freshest version of the page — possibly
+  /// newer than disk) into `out` and returns true.
+  bool Lookup(PageId id, char* out);
+
+  /// Waits until the queue and in-flight set are empty, then synchronously
+  /// retries every failed job. Ok iff every page reached disk; otherwise
+  /// the last write error (failed jobs stay buffered for the next Drain).
+  Status Drain();
+
+  /// Drops every job, pending or failed, and clears the error state. Used
+  /// by Clear()/Reset() paths that discard the cache wholesale.
+  void CancelAll();
+
+  /// Queued + in-flight jobs, for the pool.writeback_queue_depth gauge.
+  int64_t queue_depth() const {
+    return depth_.load(std::memory_order_relaxed);
+  }
+
+  int64_t failed_count() const;
+
+ private:
+  struct Job {
+    PageId id = kInvalidPageId;
+    std::unique_ptr<char[]> data;
+  };
+
+  void WorkerLoop();
+  /// Index of the first queued job whose page is not in flight; -1 if none.
+  int NextRunnableLocked() const;
+  void UpdateDepthLocked();
+
+  DiskManager* disk_;
+  const size_t queue_capacity_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // Workers wait for runnable jobs.
+  std::condition_variable space_cv_;  // Enqueue waits for queue space.
+  std::condition_variable idle_cv_;   // Drain waits for quiescence.
+  std::deque<std::unique_ptr<Job>> queue_;
+  /// Newest job per page (queued, in flight, or failed). The pointee is
+  /// owned by queue_, failed_, or — while in flight — the worker's stack;
+  /// a worker only frees its job after re-locking mu_ and unhooking it.
+  std::unordered_map<PageId, Job*> latest_;
+  std::unordered_set<PageId> in_flight_pages_;
+  std::vector<std::unique_ptr<Job>> failed_;
+  Status sticky_;  // Last unretired write error; Ok when all clean.
+  bool stop_ = false;
+  std::atomic<int64_t> depth_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace partminer
+
+#endif  // PARTMINER_STORAGE_WRITER_POOL_H_

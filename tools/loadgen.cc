@@ -554,6 +554,7 @@ int Main(int argc, char** argv) {
     bench.Set("seed", Json::Number(static_cast<int64_t>(seed)));
     bench.Set("cores", Json::Number(static_cast<int64_t>(
                            std::thread::hardware_concurrency())));
+    bench.Set("threads", Json::Number(static_cast<int64_t>(clients)));
     bench.Set("incorrect", Json::Number(static_cast<int64_t>(incorrect)));
     bench.Set("overloaded", Json::Number(static_cast<int64_t>(overloaded)));
     bench.Set("throughput_rps", Json::Number(throughput));

@@ -2,7 +2,9 @@
 //
 //   partminer mine   --input=db.lg --support=0.05 [--k=4] [--algo=partminer|
 //                    gspan|gaston|adi] [--criteria=combined|mincut|isolation|
-//                    metis] [--threads=N] [--max-edges=N] [--frames=N]
+//                    metis] [--threads=N] [--max-edges=N] [--pool-frames=N]
+//                    [--pool-partitions=N] [--writer-threads=N]
+//                    [--writeback-queue=N] [--storage-engine=swizzle|classic]
 //                    [--closed | --maximal] [--output=patterns.lg]
 //                    [--trace=trace.json] [--metrics=metrics.json]
 //   partminer gen    --output=db.lg [--d=500 --t=20 --n=20 --l=50 --i=5
@@ -29,6 +31,7 @@
 
 #include "adi/adi_index.h"
 #include "adi/adi_miner.h"
+#include "common/flags.h"
 #include "common/parse.h"
 #include "common/thread_pool.h"
 #include "common/timing.h"
@@ -120,22 +123,34 @@ void WarnUnknownFlags(const std::map<std::string, std::string>& flags,
 /// footprint (storage.db_pages gauge), so a --metrics run reports storage
 /// I/O figures even for the memory-based miners: the build writes every
 /// page, the read-back sweep replays them through a small buffer pool.
-void StorageFootprintProbe(const GraphDatabase& db) {
+void StorageFootprintProbe(const GraphDatabase& db, PoolSizing sizing) {
   PM_TRACE_SPAN("storage_probe", {{"graphs", db.size()}});
   DiskManager disk;
   std::ostringstream path;
   path << "/tmp/partminer_probe_" << ::getpid() << ".pages";
   if (!disk.Open(path.str()).ok()) return;
   // Two frames: the sweep must evict and re-read, so the probe exercises the
-  // whole write/evict/read path rather than staying pool-resident.
-  BufferPool pool(&disk, 2);
-  AdiIndex index(&pool);
-  if (!index.Build(db).ok()) return;
-  Graph g;
-  for (int i = 0; i < index.graph_count(); ++i) {
-    if (!index.LoadGraph(i, &g).ok()) return;
+  // whole write/evict/read path rather than staying pool-resident. The
+  // engine (and writer-thread count) still follow the configured flags.
+  sizing.frames = 2;
+  sizing.partitions = 1;
+  auto probe = [&](AdiIndex* index) {
+    if (!index->Build(db).ok()) return;
+    Graph g;
+    for (int i = 0; i < index->graph_count(); ++i) {
+      if (!index->LoadGraph(i, &g).ok()) return;
+    }
+    PM_METRIC_GAUGE("storage.db_pages")->Set(index->pages_used());
+  };
+  if (sizing.engine == StorageEngine::kClassic) {
+    BufferPool pool(&disk, sizing.frames);
+    AdiIndex index(&pool);
+    probe(&index);
+  } else {
+    SwizzlePool pool(&disk, sizing);
+    AdiIndex index(&pool);
+    probe(&index);
   }
-  PM_METRIC_GAUGE("storage.db_pages")->Set(index.pages_used());
 }
 
 int Usage() {
@@ -144,7 +159,9 @@ int Usage() {
                "  partminer mine  --input=db.lg --support=0.05 [--k=4] "
                "[--algo=partminer|gspan|gaston|adi] [--criteria=combined|"
                "mincut|isolation|metis] [--threads=N] [--max-edges=N] "
-               "[--frames=N] [--closed|--maximal] [--no-prune-index] "
+               "[--pool-frames=N] [--pool-partitions=N] [--writer-threads=N] "
+               "[--writeback-queue=N] [--storage-engine=swizzle|classic] "
+               "[--closed|--maximal] [--no-prune-index] "
                "[--no-canon-cache] [--output=out.lg] "
                "[--trace=trace.json] [--metrics=metrics.json]\n"
                "  partminer gen   --output=db.lg [--d --t --n --l --i "
@@ -180,7 +197,9 @@ Status WritePatterns(const PatternSet& patterns, std::ostream& out) {
 
 int Mine(const std::map<std::string, std::string>& flags) {
   WarnUnknownFlags(flags, {"input", "support", "k", "algo", "criteria",
-                           "threads", "max-edges", "frames", "closed",
+                           "threads", "max-edges", "frames", "pool-frames",
+                           "pool-partitions", "writer-threads",
+                           "writeback-queue", "storage-engine", "closed",
                            "maximal", "no-prune-index", "no-canon-cache",
                            "output", "trace", "metrics"});
   GraphDatabase db;
@@ -219,6 +238,11 @@ int Mine(const std::map<std::string, std::string>& flags) {
   const std::string trace_path = Get(flags, "trace", "");
   const std::string metrics_path = Get(flags, "metrics", "");
   if (!trace_path.empty()) obs::Tracer::Global().Start();
+
+  // Buffer-pool sizing (used by --algo=adi and the storage probe). --frames
+  // is the legacy spelling of --pool-frames and keeps working.
+  PoolSizing pool_sizing;
+  if (!flags::PoolSizingFlags(flags, &pool_sizing, "frames")) return Usage();
 
   Stopwatch watch;
   PatternSet patterns;
@@ -261,8 +285,7 @@ int Mine(const std::map<std::string, std::string>& flags) {
     patterns = miner.Mine(db).patterns;
   } else if (algo == "adi") {
     AdiMineOptions adi_options;
-    const int frames = IntFlag(flags, "frames", 0);
-    if (frames > 0) adi_options.buffer_frames = frames;
+    adi_options.pool = pool_sizing;
     AdiMine miner(adi_options);
     status = miner.BuildIndex(db);
     if (!status.ok()) {
@@ -285,7 +308,9 @@ int Mine(const std::map<std::string, std::string>& flags) {
   if (flags.count("closed")) patterns = ClosedPatterns(patterns);
   if (flags.count("maximal")) patterns = MaximalPatterns(patterns);
 
-  if (!metrics_path.empty() && algo != "adi") StorageFootprintProbe(db);
+  if (!metrics_path.empty() && algo != "adi") {
+    StorageFootprintProbe(db, pool_sizing);
+  }
   if (!trace_path.empty()) {
     obs::Tracer::Global().Stop();
     if (!obs::Tracer::Global().WriteChromeTraceFile(trace_path)) return 1;
